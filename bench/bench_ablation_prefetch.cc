@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 5.1 prefetch experiment: the paper disabled Intel Core's
+ * hardware prefetcher and saw kmeans-high/-low abort ratios fall from
+ * 16%/24% to 10%/10% and speed-ups rise from 3.5/3.7 to 3.9/4.0.
+ * This bench flips the model's prefetcher switch.
+ */
+
+#include <cstdio>
+
+#include "suite.hh"
+
+using namespace htmsim;
+using namespace htmsim::bench;
+
+int
+main()
+{
+    SuiteRunner runner;
+    const MachineConfig intel = MachineConfig::intelCore();
+
+    std::printf("Section 5.1 ablation: Intel adjacent-line prefetcher "
+                "on/off (4 threads)\n");
+    std::printf("%-14s %-9s %10s %10s\n", "benchmark", "prefetch",
+                "speed-up", "abort %");
+
+    for (const std::string& bench :
+         {std::string("kmeans-high"), std::string("kmeans-low")}) {
+        for (const bool enabled : {true, false}) {
+            // Tune retry counts per configuration, like the paper.
+            Speedup best;
+            bool first = true;
+            for (RuntimeConfig config :
+                 SuiteRunner::tuningCandidates(intel)) {
+                config.prefetchEnabled = enabled;
+                const Speedup current =
+                    runner.run(bench, config, intel, 4, true, 1);
+                if (first || current.ratio > best.ratio) {
+                    best = current;
+                    first = false;
+                }
+            }
+            std::printf("%-14s %-9s %10.2f %10.1f\n", bench.c_str(),
+                        enabled ? "on" : "off", best.ratio,
+                        best.tm.stats.abortRatio() * 100.0);
+        }
+    }
+    std::printf("\nPaper shape: disabling the prefetcher lowers the "
+                "kmeans abort ratios and\nraises the speed-ups — the "
+                "prefetched neighbour lines were raising\n"
+                "unnecessary data conflicts (validated by Intel "
+                "developers).\n");
+    return 0;
+}

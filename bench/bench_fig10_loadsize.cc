@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10: 90-percentile transactional-load sizes vs 4-thread abort
+ * ratios, one point per (benchmark, machine).
+ *
+ * Methodology mirrors the paper: footprints come from a traced
+ * single-threaded run with capacity limits disabled (their STM-based
+ * trace tool had none), mapping accessed addresses to each machine's
+ * cache lines; abort ratios come from the tuned 4-thread runs.
+ */
+
+#include <cstdio>
+
+#include "suite.hh"
+
+using namespace htmsim;
+using namespace htmsim::bench;
+
+int
+main()
+{
+    SuiteRunner runner;
+    std::printf("Figure 10: 90-pct transactional-load size (KB) vs "
+                "abort ratio (%%), 4 threads\n");
+    std::printf("%-14s %-4s %12s %10s %14s\n", "benchmark", "mach",
+                "load90 (KB)", "abort %", "load capacity");
+    for (const std::string& bench : suiteNames()) {
+        if (bench == "bayes")
+            continue; // excluded from the paper's analyses
+        for (unsigned m = 0; m < 4; ++m) {
+            const MachineConfig& machine = MachineConfig::all()[m];
+            RuntimeConfig traced{machine};
+            traced.collectTrace = true;
+            traced.ignoreCapacity = true;
+            const Speedup trace_run =
+                runner.run(bench, traced, machine, 1, true, 1);
+            const double load_kb =
+                trace_run.tm.trace.loadPercentileBytes(
+                    0.90, machine.capacityLineBytes) /
+                1024.0;
+
+            const Speedup tuned = runner.measure(bench, machine, 4);
+            std::printf("%-14s %-4s %12.2f %10.1f %11zu KB%s\n",
+                        bench.c_str(), machineLabel(m), load_kb,
+                        tuned.tm.stats.abortRatio() * 100.0,
+                        machine.loadCapacityBytes >> 10,
+                        load_kb * 1024.0 >
+                                double(machine.loadCapacityBytes)
+                            ? "  << OVER"
+                            : "");
+        }
+    }
+    std::printf("\nPaper shape: labyrinth/yada footprints reach tens "
+                "of KB; POWER8's 8 KB\nbudget is exceeded by "
+                "labyrinth, yada and the larger vacation/intruder\n"
+                "transactions, which correlates with its abort "
+                "ratios.\n");
+    return 0;
+}

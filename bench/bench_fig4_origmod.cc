@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 4: original vs modified STAMP, 4-thread speed-ups.
+ *
+ * Only the four benchmarks the paper changed (genome chunk tuning,
+ * intruder and vacation data-structure substitutions, kmeans
+ * alignment) differ between variants; the geometric means cover the
+ * whole suite as in the paper.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "suite.hh"
+
+using namespace htmsim;
+using namespace htmsim::bench;
+
+int
+main()
+{
+    const unsigned threads = 4;
+    SuiteRunner runner;
+
+    const std::vector<std::string> changed = {
+        "genome",        "intruder",     "kmeans-high",
+        "kmeans-low",    "vacation-high", "vacation-low"};
+
+    std::printf("Figure 4: original vs modified STAMP speed-ups "
+                "(4 threads)\n");
+    std::printf("%-14s %-4s %10s %10s %8s\n", "benchmark", "mach",
+                "original", "modified", "gain");
+
+    double geomean_orig[4] = {1.0, 1.0, 1.0, 1.0};
+    double geomean_mod[4] = {1.0, 1.0, 1.0, 1.0};
+    unsigned counted = 0;
+
+    for (const std::string& bench : suiteNames()) {
+        const bool was_changed =
+            std::find(changed.begin(), changed.end(), bench) !=
+            changed.end();
+        for (unsigned m = 0; m < 4; ++m) {
+            const Speedup modified = runner.measure(
+                bench, MachineConfig::all()[m], threads, true);
+            const Speedup original =
+                was_changed
+                    ? runner.measure(bench, MachineConfig::all()[m],
+                                     threads, false)
+                    : modified;
+            if (was_changed) {
+                std::printf("%-14s %-4s %10.2f %10.2f %7.2fx\n",
+                            bench.c_str(), machineLabel(m),
+                            original.ratio, modified.ratio,
+                            original.ratio > 0
+                                ? modified.ratio / original.ratio
+                                : 0.0);
+            }
+            geomean_orig[m] *= original.ratio;
+            geomean_mod[m] *= modified.ratio;
+        }
+        ++counted;
+    }
+
+    std::printf("\n%-14s %-4s %10s %10s\n", "geomean(all)", "mach",
+                "original", "modified");
+    for (unsigned m = 0; m < 4; ++m) {
+        std::printf("%-14s %-4s %10.2f %10.2f\n", "", machineLabel(m),
+                    std::pow(geomean_orig[m], 1.0 / counted),
+                    std::pow(geomean_mod[m], 1.0 / counted));
+    }
+    std::printf(
+        "\nPaper shape: POWER8 gains most (3.7x in genome, >1.4x in "
+        "intruder and\nvacation) because the modifications remove "
+        "capacity overflows; kmeans\nalignment helps zEC12 and Intel "
+        "~20-30%%.\n");
+    return 0;
+}

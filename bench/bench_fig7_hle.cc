@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 7: RTM vs HLE on Intel Core, 4 threads, modified STAMP.
+ * RTM uses tuned retry counts (the Figure 2 numbers); HLE elides a
+ * global lock with a single hardware attempt and no tuning.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "suite.hh"
+
+using namespace htmsim;
+using namespace htmsim::bench;
+
+int
+main()
+{
+    const unsigned threads = 4;
+    SuiteRunner runner;
+    const MachineConfig intel = MachineConfig::intelCore();
+
+    std::printf("Figure 7: RTM vs HLE speed-up over sequential "
+                "(Intel Core, 4 threads)\n");
+    std::printf("%-14s %8s %8s %8s\n", "benchmark", "RTM", "HLE",
+                "HLE/RTM");
+
+    double geomean_rtm = 1.0;
+    double geomean_hle = 1.0;
+    unsigned counted = 0;
+    for (const std::string& bench : suiteNames()) {
+        const Speedup rtm = runner.measure(bench, intel, threads);
+        const Speedup hle = runner.measureHle(bench, intel, threads);
+        if (!hle.tm.valid) {
+            std::fprintf(stderr, "%s failed under HLE!\n",
+                         bench.c_str());
+            return 1;
+        }
+        std::printf("%-14s %8.2f %8.2f %7.0f%%\n", bench.c_str(),
+                    rtm.ratio, hle.ratio,
+                    rtm.ratio > 0 ? 100.0 * hle.ratio / rtm.ratio
+                                  : 0.0);
+        geomean_rtm *= rtm.ratio;
+        geomean_hle *= hle.ratio;
+        ++counted;
+    }
+    std::printf("%-14s %8.2f %8.2f %7.0f%%\n", "geomean",
+                std::pow(geomean_rtm, 1.0 / counted),
+                std::pow(geomean_hle, 1.0 / counted),
+                100.0 * std::pow(geomean_hle / geomean_rtm,
+                                 1.0 / counted));
+    std::printf("\nPaper shape: HLE reaches ~80%% of tuned RTM on "
+                "average — modest speed-ups\nwith zero tuning "
+                "effort.\n");
+    return 0;
+}

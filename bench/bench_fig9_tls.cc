@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 9: TLS speed-up over sequential with and without the
+ * POWER8 suspend/resume instructions, for the milc-like and
+ * sphinx3-like loop kernels, on 1-6 threads.
+ */
+
+#include <cstdio>
+
+#include "tls/tls.hh"
+
+using namespace htmsim;
+using namespace htmsim::tls;
+using htm::MachineConfig;
+using htm::RuntimeConfig;
+
+namespace
+{
+
+void
+runKernel(const char* name, const TlsParams& params)
+{
+    std::printf("%s\n", name);
+    std::printf("  %-8s %18s %18s\n", "threads",
+                "without susp/res", "with susp/res");
+    const RuntimeConfig config{MachineConfig::power8()};
+
+    TlsKernel baseline(params);
+    const sim::Cycles seq =
+        baseline.runSequential(config.machine, 1);
+
+    for (const unsigned threads : {1u, 2u, 3u, 4u, 5u, 6u}) {
+        TlsKernel without_kernel(params);
+        const TlsResult without =
+            without_kernel.runTls(config, threads, false, 1);
+        TlsKernel with_kernel(params);
+        const TlsResult with =
+            with_kernel.runTls(config, threads, true, 1);
+        if (!without.valid || !with.valid) {
+            std::fprintf(stderr, "TLS produced a wrong result!\n");
+            std::exit(1);
+        }
+        std::printf("  %-8u %10.2f (%4.1f%%) %10.2f (%4.1f%%)\n",
+                    threads, double(seq) / double(without.cycles),
+                    without.abortRatio * 100.0,
+                    double(seq) / double(with.cycles),
+                    with.abortRatio * 100.0);
+    }
+    std::printf("  (abort ratios in parentheses)\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 9: TLS on POWER8 — speed-up over sequential\n\n");
+    runKernel("433.milc-like kernel", TlsParams::milcLike());
+    runKernel("482.sphinx3-like kernel", TlsParams::sphinxLike());
+    std::printf(
+        "Paper shape: suspend/resume cuts the sphinx3 abort ratio "
+        "from ~69%% to\n~0.1%% and adds ~12%% speed-up; milc keeps "
+        "~10%% residual false conflicts\nand gains only ~2%%.\n");
+    return 0;
+}

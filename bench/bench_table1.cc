@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 1: HTM implementation characteristics of the four machines.
+ */
+
+#include <cstdio>
+
+#include "htm/machine.hh"
+
+using htmsim::htm::MachineConfig;
+
+namespace
+{
+
+void
+printBytes(const char* label, std::size_t bg, std::size_t z12,
+           std::size_t ic, std::size_t p8)
+{
+    auto human = [](std::size_t bytes) {
+        static char buffers[8][32];
+        static int next = 0;
+        char* out = buffers[next++ % 8];
+        if (bytes >= (1u << 20) && bytes % (1u << 20) == 0)
+            std::snprintf(out, 32, "%zu MB", bytes >> 20);
+        else if (bytes >= 1024 && bytes % 1024 == 0)
+            std::snprintf(out, 32, "%zu KB", bytes >> 10);
+        else
+            std::snprintf(out, 32, "%zu B", bytes);
+        return out;
+    };
+    std::printf("%-28s %-22s %-14s %-14s %-10s\n", label, human(bg),
+                human(z12), human(ic), human(p8));
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto& machines = MachineConfig::all();
+    const MachineConfig& bg = machines[0];
+    const MachineConfig& z12 = machines[1];
+    const MachineConfig& ic = machines[2];
+    const MachineConfig& p8 = machines[3];
+
+    std::printf("Table 1: HTM implementations\n");
+    std::printf("%-28s %-22s %-14s %-14s %-10s\n", "Processor type",
+                bg.name.c_str(), z12.name.c_str(), "Core i7-4770",
+                p8.name.c_str());
+    std::printf("%-28s %-22s %-14s %-14s %-10s\n",
+                "Conflict granularity", "8 - 128 bytes", "256 bytes",
+                "64 bytes", "128 bytes");
+    printBytes("Tx-load capacity", bg.loadCapacityBytes,
+               z12.loadCapacityBytes, ic.loadCapacityBytes,
+               p8.loadCapacityBytes);
+    printBytes("Tx-store capacity", bg.storeCapacityBytes,
+               z12.storeCapacityBytes, ic.storeCapacityBytes,
+               p8.storeCapacityBytes);
+    std::printf("%-28s %-22s %-14s %-14s %-10s\n", "L1 data cache",
+                bg.l1Description.c_str(), z12.l1Description.c_str(),
+                ic.l1Description.c_str(), p8.l1Description.c_str());
+    std::printf("%-28s %-22s %-14s %-14s %-10s\n", "L2 data cache",
+                bg.l2Description.c_str(), z12.l2Description.c_str(),
+                ic.l2Description.c_str(), p8.l2Description.c_str());
+    std::printf("%-28s %-22u %-14s %-14u %-10u\n", "SMT level",
+                bg.smtWays, "None", ic.smtWays, p8.smtWays);
+    std::printf("%-28s %-22s %-14u %-14u %-10u\n",
+                "Kinds of abort reasons", "-", z12.abortReasonKinds,
+                ic.abortReasonKinds, p8.abortReasonKinds);
+    std::printf("%-28s %-22u %-14u %-14u %-10u\n", "Physical cores",
+                bg.numCores, z12.numCores, ic.numCores, p8.numCores);
+    std::printf("%-28s %-22.1f %-14.1f %-14.1f %-10.1f\n",
+                "Clock (GHz, informational)", bg.clockGhz, z12.clockGhz,
+                ic.clockGhz, p8.clockGhz);
+    return 0;
+}

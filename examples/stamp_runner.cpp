@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Command-line STAMP runner: run any benchmark of the suite on any of
+ * the four machines with a chosen thread count, and print speed-up
+ * and abort statistics.
+ *
+ *   stamp_runner [benchmark] [machine] [threads]
+ *   stamp_runner vacation-high z12 8
+ *
+ * Machines: bg | z12 | ic | p8. Defaults: genome ic 4.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "../bench/suite.hh"
+
+using namespace htmsim;
+using namespace htmsim::bench;
+
+int
+main(int argc, char** argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "genome";
+    const std::string machine_name = argc > 2 ? argv[2] : "ic";
+    const unsigned threads =
+        argc > 3 ? unsigned(std::atoi(argv[3])) : 4;
+
+    int machine_index = -1;
+    const char* labels[] = {"bg", "z12", "ic", "p8"};
+    for (int i = 0; i < 4; ++i) {
+        if (machine_name == labels[i])
+            machine_index = i;
+    }
+    if (machine_index < 0) {
+        std::fprintf(stderr,
+                     "unknown machine '%s' (use bg|z12|ic|p8)\n",
+                     machine_name.c_str());
+        return 1;
+    }
+    bool known = false;
+    for (const std::string& name : suiteNames())
+        known = known || name == bench;
+    if (!known) {
+        std::fprintf(stderr, "unknown benchmark '%s'; choose from:\n",
+                     bench.c_str());
+        for (const std::string& name : suiteNames())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 1;
+    }
+
+    const MachineConfig& machine =
+        MachineConfig::all()[unsigned(machine_index)];
+    if (threads == 0 || threads > machine.maxThreads()) {
+        std::fprintf(stderr, "%s supports 1..%u threads\n",
+                     machine.name.c_str(), machine.maxThreads());
+        return 1;
+    }
+
+    SuiteRunner runner;
+    const Speedup result = runner.measure(bench, machine, threads);
+
+    std::printf("%s on %s with %u thread(s)\n", bench.c_str(),
+                machine.name.c_str(), threads);
+    std::printf("  sequential: %12llu cycles\n",
+                (unsigned long long)result.seq.cycles);
+    std::printf("  HTM:        %12llu cycles  -> speed-up %.2fx\n",
+                (unsigned long long)result.tm.cycles, result.ratio);
+    const htm::TxStats& stats = result.tm.stats;
+    std::printf("  commits: %llu (irrevocable %llu), aborts: %llu "
+                "(%.1f%%)\n",
+                (unsigned long long)stats.totalCommits(),
+                (unsigned long long)stats.irrevocableCommits,
+                (unsigned long long)stats.totalAborts(),
+                stats.abortRatio() * 100.0);
+    for (unsigned i = 0; i < htm::numAbortCategories; ++i) {
+        if (stats.reportedAborts[i] == 0)
+            continue;
+        std::printf("    %-18s %llu\n",
+                    htm::abortCategoryName(htm::AbortCategory(i)),
+                    (unsigned long long)stats.reportedAborts[i]);
+    }
+    std::printf("  verification: %s\n",
+                result.tm.valid ? "PASSED" : "FAILED");
+    return result.tm.valid ? 0 : 1;
+}

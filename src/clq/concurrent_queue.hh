@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Concurrent linked queue for the zEC12 constrained-transaction study
+ * (paper Section 6.1).
+ *
+ * Four operation modes over one Michael–Scott queue:
+ *  - lockFree:       the original CAS-based algorithm (the baseline;
+ *                    extra validation/helping work models the long
+ *                    path of java.util.concurrent's queue);
+ *  - noRetryTm:      one transactional attempt, then the lock-free
+ *                    path (the paper's NoRetryTM);
+ *  - optRetryTm:     N transactional retries, then lock-free
+ *                    (OptRetryTM with a tuned retry count);
+ *  - constrainedTm:  zEC12 constrained transactions — guaranteed to
+ *                    commit, no fallback handler at all.
+ */
+
+#ifndef HTMSIM_CLQ_CONCURRENT_QUEUE_HH
+#define HTMSIM_CLQ_CONCURRENT_QUEUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "htm/runtime.hh"
+
+namespace htmsim::clq
+{
+
+/** Operation implementation selector. */
+enum class QueueMode : std::uint8_t
+{
+    lockFree,
+    noRetryTm,
+    optRetryTm,
+    constrainedTm,
+};
+
+/**
+ * Michael–Scott queue of uint64 payloads with TM-assisted fast paths.
+ * Nodes are retired to a registry instead of being freed, sidestepping
+ * ABA/use-after-free exactly as an epoch scheme would.
+ */
+class ConcurrentQueue
+{
+  public:
+    ConcurrentQueue();
+    ~ConcurrentQueue();
+
+    /** Cycles of validation/helping work on the lock-free path,
+     *  modelling the long java.util.concurrent code path. */
+    static constexpr sim::Cycles lockFreePathWork = 150;
+    /** Cycles of payload work on the transactional fast path. */
+    static constexpr sim::Cycles tmPathWork = 40;
+
+    void enqueue(htm::Runtime& runtime, sim::ThreadContext& ctx,
+                 std::uint64_t value, QueueMode mode, int retries);
+
+    bool dequeue(htm::Runtime& runtime, sim::ThreadContext& ctx,
+                 std::uint64_t* out, QueueMode mode, int retries);
+
+    /** Host-side size (for verification). */
+    std::size_t sizeHost() const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t value;
+        Node* next;
+    };
+
+    Node* makeNode(std::uint64_t value);
+
+    void enqueueLockFree(htm::Runtime& runtime,
+                         sim::ThreadContext& ctx, Node* node);
+    bool dequeueLockFree(htm::Runtime& runtime,
+                         sim::ThreadContext& ctx, std::uint64_t* out);
+
+    /** Transactional fast-path bodies; return false when the state
+     *  requires the lock-free path (lagging tail). */
+    template <typename Ctx>
+    bool
+    enqueueBody(Ctx& c, Node* node)
+    {
+        Node* tail = c.load(&tail_);
+        Node* next = c.load(&tail->next);
+        if (next != nullptr)
+            return false; // tail lagging: defer to lock-free helping
+        c.store(&tail->next, node);
+        c.store(&tail_, node);
+        return true;
+    }
+
+    template <typename Ctx>
+    bool
+    dequeueBody(Ctx& c, bool* empty, std::uint64_t* out)
+    {
+        Node* head = c.load(&head_);
+        Node* next = c.load(&head->next);
+        if (next == nullptr) {
+            *empty = true;
+            return true;
+        }
+        *out = c.load(&next->value);
+        c.store(&head_, next);
+        return true;
+    }
+
+    alignas(256) Node* head_;
+    alignas(256) Node* tail_;
+    std::vector<Node*> registry_;
+};
+
+} // namespace htmsim::clq
+
+#endif // HTMSIM_CLQ_CONCURRENT_QUEUE_HH

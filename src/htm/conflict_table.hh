@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Line-granular conflict-detection directory.
+ *
+ * Models the cache-coherence-based access tracking that all four
+ * machines implement (Section 2): each line touched by a live
+ * transaction carries a writer id and a reader set. Because simulated
+ * threads are cooperatively scheduled, no host synchronization is
+ * needed; accesses happen in virtual-time order.
+ */
+
+#ifndef HTMSIM_HTM_CONFLICT_TABLE_HH
+#define HTMSIM_HTM_CONFLICT_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+namespace htmsim::htm
+{
+
+/**
+ * Directory of transactionally accessed lines at a fixed granularity.
+ * Keys are line numbers (address >> granularity log2).
+ */
+class ConflictTable
+{
+  public:
+    /** Tracking state of one line. */
+    struct Line
+    {
+        /** Writing transaction's thread id, or -1. */
+        int writer = -1;
+        /** Bitmask of reader thread ids (max 64 simulated threads). */
+        std::uint64_t readers = 0;
+
+        bool
+        empty() const
+        {
+            return writer < 0 && readers == 0;
+        }
+    };
+
+    explicit ConflictTable(unsigned granularity_log2)
+        : shift_(granularity_log2)
+    {
+    }
+
+    /** Line number covering @p addr. */
+    std::uintptr_t lineOf(std::uintptr_t addr) const
+    {
+        return addr >> shift_;
+    }
+
+    std::size_t granularityBytes() const { return std::size_t(1) << shift_; }
+
+    /** Find-or-create the tracking state for a line. */
+    Line& line(std::uintptr_t line_number) { return lines_[line_number]; }
+
+    /** Find the tracking state for a line, or nullptr. */
+    Line*
+    find(std::uintptr_t line_number)
+    {
+        auto it = lines_.find(line_number);
+        return it == lines_.end() ? nullptr : &it->second;
+    }
+
+    /** Drop a thread's reader mark from a line, erasing empty lines. */
+    void
+    clearReader(std::uintptr_t line_number, unsigned tid)
+    {
+        auto it = lines_.find(line_number);
+        if (it == lines_.end())
+            return;
+        it->second.readers &= ~(std::uint64_t(1) << tid);
+        if (it->second.empty())
+            lines_.erase(it);
+    }
+
+    /** Drop a thread's writer mark (if it still owns the line). */
+    void
+    clearWriter(std::uintptr_t line_number, unsigned tid)
+    {
+        auto it = lines_.find(line_number);
+        if (it == lines_.end())
+            return;
+        if (it->second.writer == int(tid))
+            it->second.writer = -1;
+        if (it->second.empty())
+            lines_.erase(it);
+    }
+
+    /** Number of tracked lines (for tests and diagnostics). */
+    std::size_t trackedLines() const { return lines_.size(); }
+
+  private:
+    unsigned shift_;
+    std::unordered_map<std::uintptr_t, Line> lines_;
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_CONFLICT_TABLE_HH

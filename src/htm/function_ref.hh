@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal non-owning callable reference (avoids std::function
+ * allocation on the hot transaction path).
+ */
+
+#ifndef HTMSIM_HTM_FUNCTION_REF_HH
+#define HTMSIM_HTM_FUNCTION_REF_HH
+
+#include <type_traits>
+#include <utility>
+
+namespace htmsim::htm
+{
+
+template <typename Signature>
+class FunctionRef;
+
+/**
+ * Lightweight view of a callable; the referenced callable must outlive
+ * the FunctionRef (always true for our retry drivers, which only hold
+ * it for the duration of one atomic section).
+ */
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, FunctionRef>>>
+    FunctionRef(F&& callable) // NOLINT: implicit by design
+        : object_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(callable)))),
+          invoke_([](void* object, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(object))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(object_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void* object_;
+    R (*invoke_)(void*, Args...);
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_FUNCTION_REF_HH

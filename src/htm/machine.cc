@@ -1,0 +1,186 @@
+#include "machine.hh"
+
+#include "abort.hh"
+
+namespace htmsim::htm
+{
+
+const char*
+abortCauseName(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::none: return "none";
+      case AbortCause::dataConflict: return "data-conflict";
+      case AbortCause::lockConflict: return "lock-conflict";
+      case AbortCause::capacityOverflow: return "capacity-overflow";
+      case AbortCause::wayConflict: return "way-conflict";
+      case AbortCause::cacheFetch: return "cache-fetch";
+      case AbortCause::explicitAbort: return "explicit";
+      case AbortCause::unclassified: return "unclassified";
+    }
+    return "?";
+}
+
+const char*
+abortCategoryName(AbortCategory category)
+{
+    switch (category) {
+      case AbortCategory::capacityOverflow: return "capacity-overflow";
+      case AbortCategory::dataConflict: return "data-conflict";
+      case AbortCategory::other: return "other";
+      case AbortCategory::lockConflict: return "lock-conflict";
+      case AbortCategory::unclassified: return "unclassified";
+      default: return "?";
+    }
+}
+
+const char*
+vendorShortName(Vendor vendor)
+{
+    switch (vendor) {
+      case Vendor::blueGeneQ: return "BG";
+      case Vendor::zEC12: return "z12";
+      case Vendor::intelCore: return "IC";
+      case Vendor::power8: return "P8";
+    }
+    return "?";
+}
+
+MachineConfig
+MachineConfig::blueGeneQ()
+{
+    MachineConfig config;
+    config.name = "Blue Gene/Q";
+    config.vendor = Vendor::blueGeneQ;
+    // Worst-case granularity is the 128-byte L2 line; the runtime
+    // refines it per execution mode (8 B short-running, 64 B
+    // long-running), cf. Section 2.1.
+    config.conflictGranularity = 128;
+    config.capacityLineBytes = 128;
+    // 20 MB total across 16 cores = 1.25 MB per core, combined.
+    config.loadCapacityBytes = 1280 << 10;
+    config.storeCapacityBytes = 1280 << 10;
+    config.combinedCapacity = true;
+    config.numCores = 16;
+    config.smtWays = 4;
+    // The in-order A2 core is built for SMT throughput.
+    config.smtYield = 2.4;
+    config.hasAbortCodes = false;
+    config.hasPersistenceHint = false;
+    config.abortReasonKinds = 0;
+    config.clockGhz = 1.6;
+    config.l1Description = "16 KB, 8-way";
+    config.l2Description = "32 MB, 16-way, shared by 16 cores";
+    config.speculationIds = 128;
+    config.specIdReclaimCost = 1200;
+    // Software register checkpointing plus kernel involvement makes
+    // begin/end far more expensive than on the other machines; the
+    // short-running mode additionally pays an L2 round trip per access
+    // (Section 5.1: ~40 % single-thread degradation in kmeans-high).
+    config.txBeginCost = 160;
+    config.txEndCost = 110;
+    config.txAbortCost = 350;
+    config.longModeBeginExtra = 250;
+    config.txLoadCost = 8;
+    config.txStoreCost = 8;
+    config.shortModeAccessExtra = 3;
+    return config;
+}
+
+MachineConfig
+MachineConfig::zEC12()
+{
+    MachineConfig config;
+    config.name = "zEC12";
+    config.vendor = Vendor::zEC12;
+    config.conflictGranularity = 256;
+    config.capacityLineBytes = 256;
+    config.loadCapacityBytes = 1 << 20;   // L1 + LRU-extension vector
+    config.storeCapacityBytes = 8 << 10;  // gathering store cache
+    config.numCores = 16;
+    config.smtWays = 1;
+    config.smtYield = 1.0;
+    config.abortReasonKinds = 14;
+    config.clockGhz = 5.5;
+    config.l1Description = "96 KB, 6-way";
+    config.l2Description = "1 MB, 8-way";
+    // zEC12 reports no processor persistence decision; the paper
+    // treats capacity overflows as persistent in software instead.
+    config.hasPersistenceHint = false;
+    config.hasConstrainedTx = true;
+    // The dominant grey bars of Figure 3: transient, undocumented
+    // cache-fetch-related aborts raised while lines stream in.
+    config.cacheFetchAbortProb = 0.0010;
+    config.txBeginCost = 35;
+    config.txEndCost = 25;
+    config.txAbortCost = 220;
+    return config;
+}
+
+MachineConfig
+MachineConfig::intelCore()
+{
+    MachineConfig config;
+    config.name = "Intel Core i7-4770";
+    config.vendor = Vendor::intelCore;
+    config.conflictGranularity = 64;
+    config.capacityLineBytes = 64;
+    config.loadCapacityBytes = 4 << 20;   // measured, Section 2.3
+    config.storeCapacityBytes = 22 << 10; // measured, Section 2.3
+    config.numCores = 4;
+    config.smtWays = 2;
+    config.smtYield = 1.3;
+    config.abortReasonKinds = 6;
+    config.clockGhz = 3.4;
+    config.l1Description = "32 KB, 8-way";
+    config.l2Description = "256 KB";
+    // Stores must remain in the 8-way L1: a 9th transactional store
+    // line mapping to one set is evicted and aborts the transaction.
+    config.storeSets = 64;
+    config.storeWays = 8;
+    // Adjacent-line hardware prefetch marks neighbours transactional
+    // (Section 5.1 kmeans anomaly, confirmed by Intel developers).
+    // Haswell's adjacent-line prefetcher pairs most line fetches.
+    config.prefetchConflictProb = 0.20;
+    config.hasHle = true;
+    config.txBeginCost = 50;
+    config.txEndCost = 40;
+    config.txAbortCost = 160;
+    return config;
+}
+
+MachineConfig
+MachineConfig::power8()
+{
+    MachineConfig config;
+    config.name = "POWER8";
+    config.vendor = Vendor::power8;
+    config.conflictGranularity = 128;
+    config.capacityLineBytes = 128;
+    // 64-entry L2 TMCAM x 128-byte lines = 8 KB combined.
+    config.loadCapacityBytes = 8 << 10;
+    config.storeCapacityBytes = 8 << 10;
+    config.combinedCapacity = true;
+    config.numCores = 6;
+    config.smtWays = 8;
+    config.smtYield = 2.1;
+    config.abortReasonKinds = 11;
+    config.clockGhz = 4.1;
+    config.l1Description = "64 KB";
+    config.l2Description = "512 KB, 8-way";
+    config.hasSuspendResume = true;
+    config.txBeginCost = 55;
+    config.txEndCost = 45;
+    config.txAbortCost = 200;
+    return config;
+}
+
+const std::array<MachineConfig, 4>&
+MachineConfig::all()
+{
+    static const std::array<MachineConfig, 4> machines = {
+        blueGeneQ(), zEC12(), intelCore(), power8()};
+    return machines;
+}
+
+} // namespace htmsim::htm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Line-granular allocation pool for transactionally managed objects.
+ *
+ * All simulated threads run on one host thread, so they would share
+ * one malloc arena; concurrent transactional allocations would then
+ * sit adjacent in memory and the allocation frontier would become an
+ * artificial false-sharing hotspot that no real threaded program has
+ * (per-thread arenas spread them out). The pool hands out 256-byte-
+ * aligned, 256-byte-granular chunks instead, so every allocation
+ * occupies its own conflict-detection line(s) on every machine, and
+ * recycles freed chunks through size-class free lists.
+ *
+ * Single-host-threaded by design, like the whole simulator.
+ */
+
+#ifndef HTMSIM_HTM_NODE_POOL_HH
+#define HTMSIM_HTM_NODE_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace htmsim::htm
+{
+
+/** Process-wide pool of line-granular chunks. */
+class NodePool
+{
+  public:
+    /** Chunk granularity: the largest conflict line of any machine. */
+    static constexpr std::size_t lineBytes = 256;
+
+    static NodePool&
+    instance()
+    {
+        static NodePool pool;
+        return pool;
+    }
+
+    void*
+    alloc(std::size_t bytes)
+    {
+        const std::size_t size_class = classOf(bytes);
+        if (size_class < freeLists_.size() &&
+            !freeLists_[size_class].empty()) {
+            void* chunk = freeLists_[size_class].back();
+            freeLists_[size_class].pop_back();
+            return chunk;
+        }
+        const std::size_t chunk_bytes = (size_class + 1) * lineBytes;
+        if (chunk_bytes > blockBytes) {
+            // Oversized allocation: dedicated block.
+            blocks_.push_back(allocBlock(chunk_bytes));
+            return blocks_.back().get();
+        }
+        if (bumpBlock_ == nullptr ||
+            blockUsed_ + chunk_bytes > blockBytes) {
+            blocks_.push_back(allocBlock(blockBytes));
+            bumpBlock_ = blocks_.back().get();
+            blockUsed_ = 0;
+        }
+        void* chunk = bumpBlock_ + blockUsed_;
+        blockUsed_ += chunk_bytes;
+        return chunk;
+    }
+
+    void
+    free(void* ptr, std::size_t bytes)
+    {
+        if (ptr == nullptr)
+            return;
+        const std::size_t size_class = classOf(bytes);
+        if (size_class >= freeLists_.size())
+            freeLists_.resize(size_class + 1);
+        freeLists_[size_class].push_back(ptr);
+    }
+
+    /** Bytes currently held from the OS (diagnostics). */
+    std::size_t
+    footprintBytes() const
+    {
+        return blocks_.size() * blockBytes;
+    }
+
+  private:
+    static constexpr std::size_t blockBytes = 1 << 20;
+
+    struct AlignedDeleter
+    {
+        void
+        operator()(char* ptr) const
+        {
+            ::operator delete[](ptr, std::align_val_t(lineBytes));
+        }
+    };
+    using Block = std::unique_ptr<char[], AlignedDeleter>;
+
+    static Block
+    allocBlock(std::size_t bytes)
+    {
+        return Block(static_cast<char*>(
+            ::operator new[](bytes, std::align_val_t(lineBytes))));
+    }
+
+    static std::size_t
+    classOf(std::size_t bytes)
+    {
+        return bytes == 0 ? 0 : (bytes - 1) / lineBytes;
+    }
+
+    std::vector<Block> blocks_;
+    char* bumpBlock_ = nullptr;
+    std::size_t blockUsed_ = 0;
+    std::vector<std::vector<void*>> freeLists_;
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_NODE_POOL_HH

@@ -1,0 +1,547 @@
+#include "runtime.hh"
+
+#include "node_pool.hh"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace htmsim::htm
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::size_t value)
+{
+    assert(value > 0 && (value & (value - 1)) == 0 &&
+           "granularities must be powers of two");
+    return unsigned(std::countr_zero(value));
+}
+
+} // namespace
+
+Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
+    : config_(std::move(config))
+{
+    const MachineConfig& machine = config_.machine;
+    assert(num_threads >= 1 && num_threads <= 64);
+
+    // Blue Gene/Q refines its worst-case 128-byte granularity by
+    // execution mode: 8 bytes short-running, 64 bytes long-running
+    // (Section 2.1).
+    std::size_t granularity = machine.conflictGranularity;
+    if (machine.vendor == Vendor::blueGeneQ) {
+        granularity = config_.bgqMode == BgqMode::shortRunning ? 8 : 64;
+    }
+    conflictShift_ = log2Exact(granularity);
+    capacityShift_ = log2Exact(machine.capacityLineBytes);
+
+    table_ = std::make_unique<ConflictTable>(conflictShift_);
+    stats_.resize(num_threads);
+    activePerCore_.assign(machine.numCores, 0);
+    bgqFallbackScore_.assign(num_threads, 0.0);
+    freeSpecIds_ = machine.speculationIds;
+
+    txs_.reserve(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+        auto tx = std::make_unique<Tx>();
+        tx->runtime_ = this;
+        tx->tid_ = tid;
+        txs_.push_back(std::move(tx));
+    }
+}
+
+Runtime::~Runtime() = default;
+
+TxStats
+Runtime::stats() const
+{
+    TxStats total;
+    for (const auto& per_thread : stats_)
+        total += per_thread;
+    return total;
+}
+
+// --------------------------------------------------------------------
+// Conflict resolution
+// --------------------------------------------------------------------
+
+void
+Runtime::doomTx(unsigned victim_tid, AbortCause cause)
+{
+    Tx& victim = *txs_[victim_tid];
+    if (victim.status_ != TxStatus::active || victim.unkillable_)
+        return;
+    victim.status_ = TxStatus::doomed;
+    victim.doomCause_ = cause;
+}
+
+void
+Runtime::resolveConflict(Tx& attacker, unsigned victim_tid,
+                         AbortCause victim_cause)
+{
+    Tx& victim = *txs_[victim_tid];
+    if (victim.status_ != TxStatus::active)
+        return; // already dying; its marks are stale
+
+    if (victim.unkillable_) {
+        attacker.selfAbort(AbortCause::dataConflict);
+    }
+
+    switch (config_.policy) {
+      case ConflictPolicy::attackerWins:
+        doomTx(victim_tid, victim_cause);
+        break;
+      case ConflictPolicy::attackerLoses:
+        attacker.selfAbort(AbortCause::dataConflict);
+        break;
+      case ConflictPolicy::olderWins:
+        if (victim.startOrder_ < attacker.startOrder_)
+            attacker.selfAbort(AbortCause::dataConflict);
+        else
+            doomTx(victim_tid, victim_cause);
+        break;
+    }
+}
+
+void
+Runtime::nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write)
+{
+    const std::uintptr_t line_number = table_->lineOf(addr);
+    ConflictTable::Line* line = table_->find(line_number);
+    if (line == nullptr)
+        return;
+
+    // A non-transactional access wins against any transaction holding
+    // the line (strong isolation via cache coherence, Section 2).
+    if (line->writer >= 0 && line->writer != int(tid))
+        doomTx(unsigned(line->writer), AbortCause::dataConflict);
+    if (is_write) {
+        std::uint64_t readers = line->readers &
+                                ~(std::uint64_t(1) << tid);
+        while (readers != 0) {
+            const unsigned reader = unsigned(__builtin_ctzll(readers));
+            readers &= readers - 1;
+            doomTx(reader, AbortCause::dataConflict);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Begin / commit / rollback
+// --------------------------------------------------------------------
+
+void
+Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
+{
+    tx.ctx_ = &ctx;
+    tx.resetAttemptState();
+
+    acquireSpecId(tx, ctx);
+
+    const MachineConfig& machine = config_.machine;
+    Cycles cost = machine.txBeginCost;
+    if (machine.vendor == Vendor::blueGeneQ &&
+        config_.bgqMode == BgqMode::longRunning) {
+        cost += machine.longModeBeginExtra; // L1 invalidation at start
+    }
+    ctx.advance(cost);
+    ctx.sync();
+
+    tx.status_ = TxStatus::active;
+    tx.startOrder_ = ++startCounter_;
+    ++activePerCore_[machine.coreOf(tx.tid_)];
+
+    if (!lazy_subscribe && !tx.constrained_) {
+        // Figure 1, lines 13/26: read the lock word transactionally so
+        // a later acquisition aborts us; abort at once if it is held.
+        const auto lock = tx.load(&lockWord_);
+        if (lock != 0)
+            tx.selfAbort(AbortCause::lockConflict);
+    }
+}
+
+void
+Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
+{
+    ctx.advance(config_.machine.txEndCost);
+    ctx.sync();
+    tx.checkDoom();
+
+    if (lazy_subscribe && lockWord_ != 0) {
+        // Blue Gene/Q long-running mode: lazy subscription checks the
+        // lock at the end of the transaction [12].
+        tx.selfAbort(AbortCause::lockConflict);
+    }
+
+    // Commit point: no scheduling points below, so write-back and
+    // directory cleanup are atomic in virtual time.
+    for (const auto& [addr, entry] : tx.writeBuffer_) {
+        std::memcpy(reinterpret_cast<void*>(addr), &entry.value,
+                    entry.size);
+    }
+    for (const auto& [line_number, flags] : tx.conflictLines_) {
+        if (flags & Tx::lineRead)
+            table_->clearReader(line_number, tx.tid_);
+        if (flags & Tx::lineWritten)
+            table_->clearWriter(line_number, tx.tid_);
+    }
+    for (const auto& record : tx.deferredFrees_)
+        NodePool::instance().free(record.ptr, record.bytes);
+
+    if (config_.collectTrace)
+        trace_.record(tx.loadLines_, tx.storeLines_);
+
+    if (tx.constrained_)
+        ++stats_[tx.tid_].constrainedCommits;
+    else
+        ++stats_[tx.tid_].htmCommits;
+
+    if (tx.status_ == TxStatus::active)
+        --activePerCore_[config_.machine.coreOf(tx.tid_)];
+    releaseSpecId(tx);
+    tx.status_ = TxStatus::inactive;
+}
+
+void
+Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
+{
+    for (const auto& [line_number, flags] : tx.conflictLines_) {
+        if (flags & Tx::lineRead)
+            table_->clearReader(line_number, tx.tid_);
+        if (flags & Tx::lineWritten)
+            table_->clearWriter(line_number, tx.tid_);
+    }
+    for (const auto& record : tx.speculativeAllocs_)
+        NodePool::instance().free(record.ptr, record.bytes);
+
+    if (tx.status_ == TxStatus::active ||
+        tx.status_ == TxStatus::doomed) {
+        --activePerCore_[config_.machine.coreOf(tx.tid_)];
+    }
+    releaseSpecId(tx);
+    tx.status_ = TxStatus::inactive;
+    tx.suspended_ = false;
+
+    ctx.advance(config_.machine.txAbortCost);
+    ctx.sync();
+}
+
+void
+Runtime::recordAbort(Tx& tx, AbortCause cause)
+{
+    TxStats& stats = stats_[tx.tid_];
+    stats.trueCauseAborts[std::size_t(cause)]++;
+
+    AbortCategory reported;
+    if (!config_.machine.hasAbortCodes) {
+        reported = AbortCategory::unclassified;
+    } else if (lockWord_ != 0 || cause == AbortCause::lockConflict) {
+        // The retry driver classifies lock conflicts by inspecting the
+        // lock after the abort (Figure 1 line 13); a conflict whose
+        // lock was already released again is misattributed to data —
+        // exactly as the paper describes.
+        reported = AbortCategory::lockConflict;
+    } else {
+        reported = categorize(cause);
+    }
+    stats.reportedAborts[std::size_t(reported)]++;
+}
+
+AbortCause
+Runtime::attempt(Tx& tx, sim::ThreadContext& ctx,
+                 FunctionRef<void(Tx&)> body, bool lazy_subscribe,
+                 bool record_stats)
+{
+    try {
+        txBegin(tx, ctx, lazy_subscribe);
+        body(tx);
+        txCommit(tx, ctx, lazy_subscribe);
+        return AbortCause::none;
+    } catch (const TxAbortException& abort) {
+        // Doom by a peer overrides the locally thrown cause.
+        const AbortCause cause = tx.status_ == TxStatus::doomed
+                                     ? tx.doomCause_
+                                     : abort.cause;
+        rollback(tx, ctx);
+        if (record_stats)
+            recordAbort(tx, cause);
+        return cause == AbortCause::none ? AbortCause::dataConflict
+                                         : cause;
+    }
+}
+
+// --------------------------------------------------------------------
+// Retry drivers
+// --------------------------------------------------------------------
+
+void
+Runtime::waitToBegin(sim::ThreadContext& ctx)
+{
+    // Figure 1 line 9: wait for the global lock to be released before
+    // beginning, to avoid the lemming effect [8].
+    if (lockWord_ != 0) {
+        ctx.spinUntil([this] { return lockWord_ == 0; }, lockPollCost);
+    }
+    if (constrainedOwner_ >= 0 && constrainedOwner_ != int(ctx.id())) {
+        ctx.spinUntil([this] { return constrainedOwner_ < 0; },
+                      lockPollCost);
+    }
+}
+
+void
+Runtime::backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts)
+{
+    const unsigned shift =
+        std::min(consecutive_aborts, config_.maxBackoffShift);
+    const Cycles base = config_.backoffBase << shift;
+    const Cycles jitter = Cycles(double(base) * ctx.rng().nextDouble());
+    ctx.advance(base + jitter);
+    ctx.sync();
+}
+
+void
+Runtime::acquireGlobalLock(sim::ThreadContext& ctx)
+{
+    ctx.sync();
+    if (lockWord_ != 0) {
+        ctx.spinUntil([this] { return lockWord_ == 0; }, lockPollCost);
+    }
+    // No scheduling point between the final probe and the store: the
+    // acquisition is atomic in virtual time.
+    ctx.advance(config_.machine.nonTxStoreCost);
+    nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true);
+    lockWord_ = 1;
+}
+
+void
+Runtime::releaseGlobalLock(sim::ThreadContext& ctx)
+{
+    assert(lockWord_ != 0);
+    ctx.advance(config_.machine.nonTxStoreCost);
+    nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true);
+    lockWord_ = 0;
+    ctx.sync();
+}
+
+void
+Runtime::runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
+                        FunctionRef<void(Tx&)> body)
+{
+    tx.ctx_ = &ctx;
+    acquireGlobalLock(ctx);
+    tx.status_ = TxStatus::irrevocable;
+    body(tx);
+    tx.status_ = TxStatus::inactive;
+    ++stats_[tx.tid_].irrevocableCommits;
+    releaseGlobalLock(ctx);
+}
+
+void
+Runtime::runAtomic(sim::ThreadContext& ctx, FunctionRef<void(Tx&)> body)
+{
+    if (config_.machine.vendor == Vendor::blueGeneQ)
+        runAtomicBgq(ctx, body);
+    else
+        runAtomicFig1(ctx, body);
+}
+
+void
+Runtime::runAtomicFig1(sim::ThreadContext& ctx,
+                       FunctionRef<void(Tx&)> body)
+{
+    Tx& tx = *txs_[ctx.id()];
+    int lock_retries = config_.retry.lockRetries;
+    int persistent_retries = config_.retry.persistentRetries;
+    int transient_retries = config_.retry.transientRetries;
+    unsigned consecutive = 0;
+
+    for (;;) {
+        waitToBegin(ctx);
+        const AbortCause cause = attempt(tx, ctx, body, false, true);
+        if (cause == AbortCause::none)
+            return;
+
+        ++consecutive;
+        const bool lock_held = lockWord_ != 0 ||
+                               cause == AbortCause::lockConflict;
+        bool retry;
+        if (lock_held) {
+            retry = --lock_retries > 0;
+        } else if (isPersistent(cause)) {
+            retry = --persistent_retries > 0;
+        } else {
+            retry = --transient_retries > 0;
+        }
+        if (retry) {
+            backoff(ctx, consecutive);
+            continue;
+        }
+        runIrrevocable(ctx, tx, body);
+        return;
+    }
+}
+
+void
+Runtime::runAtomicBgq(sim::ThreadContext& ctx,
+                      FunctionRef<void(Tx&)> body)
+{
+    Tx& tx = *txs_[ctx.id()];
+    const bool lazy = lazySubscription();
+
+    // Adaptation: a thread whose transactions recently kept falling
+    // back to the lock is not allowed to retry (Section 3).
+    double& score = bgqFallbackScore_[ctx.id()];
+    int retries = config_.bgqMaxRetries;
+    if (config_.bgqAdaptation && score > 2.5)
+        retries = 0;
+
+    unsigned consecutive = 0;
+    for (;;) {
+        waitToBegin(ctx);
+        const AbortCause cause = attempt(tx, ctx, body, lazy, true);
+        if (cause == AbortCause::none) {
+            score *= 0.9;
+            return;
+        }
+        ++consecutive;
+        if (retries-- > 0) {
+            backoff(ctx, consecutive);
+            continue;
+        }
+        runIrrevocable(ctx, tx, body);
+        score = score * 0.9 + 1.0;
+        return;
+    }
+}
+
+void
+Runtime::runConstrained(sim::ThreadContext& ctx,
+                        FunctionRef<void(Tx&)> body)
+{
+    if (!config_.machine.hasConstrainedTx) {
+        throw std::logic_error(
+            "constrained transactions unsupported on " +
+            config_.machine.name);
+    }
+
+    Tx& tx = *txs_[ctx.id()];
+    tx.constrained_ = true;
+    unsigned attempts = 0;
+
+    for (;;) {
+        const AbortCause cause = attempt(tx, ctx, body, true, true);
+        if (cause == AbortCause::none)
+            break;
+
+        ++attempts;
+        if (attempts >= escalationThreshold && constrainedOwner_ < 0) {
+            // Hardware guarantees eventual completion by escalating:
+            // model this as exclusive priority that blocks new
+            // transactions and survives all conflicts.
+            constrainedOwner_ = int(ctx.id());
+            tx.unkillable_ = true;
+        }
+        backoff(ctx, attempts);
+    }
+
+    if (constrainedOwner_ == int(ctx.id()))
+        constrainedOwner_ = -1;
+    tx.unkillable_ = false;
+    tx.constrained_ = false;
+}
+
+bool
+Runtime::runRollbackOnly(sim::ThreadContext& ctx,
+                         FunctionRef<void(Tx&)> body)
+{
+    if (!config_.machine.hasSuspendResume) {
+        throw std::logic_error("rollback-only tx unsupported on " +
+                               config_.machine.name);
+    }
+
+    Tx& tx = *txs_[ctx.id()];
+    tx.ctx_ = &ctx;
+    try {
+        tx.resetAttemptState();
+        ctx.advance(config_.machine.txBeginCost);
+        ctx.sync();
+        tx.status_ = TxStatus::rollbackOnly;
+        body(tx);
+
+        ctx.advance(config_.machine.txEndCost);
+        ctx.sync();
+        for (const auto& [addr, entry] : tx.writeBuffer_) {
+            std::memcpy(reinterpret_cast<void*>(addr), &entry.value,
+                        entry.size);
+        }
+        for (const auto& record : tx.deferredFrees_)
+            NodePool::instance().free(record.ptr, record.bytes);
+        ++stats_[tx.tid_].htmCommits;
+        tx.status_ = TxStatus::inactive;
+        return true;
+    } catch (const TxAbortException& abort) {
+        for (const auto& record : tx.speculativeAllocs_)
+            NodePool::instance().free(record.ptr, record.bytes);
+        tx.status_ = TxStatus::inactive;
+        ctx.advance(config_.machine.txAbortCost);
+        ctx.sync();
+        recordAbort(tx, abort.cause);
+        return false;
+    }
+}
+
+// --------------------------------------------------------------------
+// Machine services
+// --------------------------------------------------------------------
+
+bool
+Runtime::isPersistent(AbortCause cause) const
+{
+    // Intel and POWER8 report a persistence hint; the paper's runtime
+    // treats zEC12 capacity overflows as persistent in software
+    // (Section 3). Either way the same causes are persistent.
+    return cause == AbortCause::capacityOverflow ||
+           cause == AbortCause::wayConflict;
+}
+
+void
+Runtime::acquireSpecId(Tx& tx, sim::ThreadContext& ctx)
+{
+    if (config_.machine.speculationIds == 0)
+        return;
+
+    TxStats& stats = stats_[tx.tid_];
+    while (freeSpecIds_ == 0) {
+        if (retiredSpecIds_ > 0) {
+            // This thread performs the reclamation pass that scrubs
+            // the L2 directory and recycles the retired IDs.
+            ctx.advance(config_.machine.specIdReclaimCost);
+            ctx.sync();
+            freeSpecIds_ += retiredSpecIds_;
+            retiredSpecIds_ = 0;
+            ++stats.specIdReclaims;
+        } else {
+            ++stats.specIdWaits;
+            ctx.spinUntil([this] { return freeSpecIds_ > 0 ||
+                                          retiredSpecIds_ > 0; },
+                          lockPollCost);
+        }
+    }
+    --freeSpecIds_;
+    tx.holdsSpecId_ = true;
+}
+
+void
+Runtime::releaseSpecId(Tx& tx)
+{
+    if (!tx.holdsSpecId_)
+        return;
+    tx.holdsSpecId_ = false;
+    // Released IDs are only reusable after a reclamation pass.
+    ++retiredSpecIds_;
+}
+
+} // namespace htmsim::htm

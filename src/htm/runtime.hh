@@ -1,0 +1,386 @@
+/**
+ * @file
+ * The HTM emulation runtime: machine model + conflict directory +
+ * retry drivers + global-lock fallback + statistics.
+ *
+ * One Runtime instance models one machine for one multi-threaded run.
+ * Application threads (simulated threads) call atomic() to execute a
+ * critical section; the runtime implements the paper's Figure 1 retry
+ * mechanism (three counters: lock / persistent / transient) on zEC12,
+ * Intel Core and POWER8, and the system-provided single-counter
+ * mechanism with adaptation on Blue Gene/Q.
+ */
+
+#ifndef HTMSIM_HTM_RUNTIME_HH
+#define HTMSIM_HTM_RUNTIME_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "abort.hh"
+#include "conflict_table.hh"
+#include "function_ref.hh"
+#include "machine.hh"
+#include "stats.hh"
+#include "tx.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::htm
+{
+
+/** Who survives when two transactions collide on a line. */
+enum class ConflictPolicy : std::uint8_t
+{
+    /** The access in progress aborts the peer (coherence-invalidation
+     *  behaviour of all four machines; the default). */
+    attackerWins,
+    /** The access in progress aborts its own transaction. */
+    attackerLoses,
+    /** The younger transaction aborts (timestamp arbitration). */
+    olderWins,
+};
+
+/** Maximum retry counts of the Figure 1 mechanism (tuning knobs). */
+struct RetryCounts
+{
+    int lockRetries = 4;
+    int persistentRetries = 1;
+    int transientRetries = 8;
+};
+
+/** Everything configurable about one run. */
+struct RuntimeConfig
+{
+    MachineConfig machine;
+    RetryCounts retry;
+    ConflictPolicy policy = ConflictPolicy::attackerWins;
+
+    /** Blue Gene/Q execution mode (Section 2.1). */
+    BgqMode bgqMode = BgqMode::shortRunning;
+    /** Blue Gene/Q single retry counter (environment variable). */
+    int bgqMaxRetries = 10;
+    /** Blue Gene/Q adaptation: stop retrying after frequent fallback. */
+    bool bgqAdaptation = true;
+
+    /** Ablation switch for the Intel adjacent-line prefetcher. */
+    bool prefetchEnabled = true;
+    /** Record per-transaction footprints (Figures 10/11). */
+    bool collectTrace = false;
+    /** Disable capacity aborts (the paper's STM-based trace tool had
+     *  no capacity limit); used together with collectTrace. */
+    bool ignoreCapacity = false;
+
+    /** Base cycles of randomized backoff after an abort. The paper's
+     *  Figure 1 retries immediately; a small randomized delay only
+     *  de-synchronizes the deterministic lock-step of the simulation
+     *  and must stay well below a transaction's length. */
+    Cycles backoffBase = 15;
+    /** Cap for the exponential backoff shift. */
+    unsigned maxBackoffShift = 4;
+
+    /** Construct a config for one of the paper's machines. */
+    explicit RuntimeConfig(MachineConfig machine_config)
+        : machine(std::move(machine_config))
+    {
+    }
+
+    RuntimeConfig() = default;
+};
+
+/**
+ * HTM emulation runtime for one machine and one set of threads.
+ */
+class Runtime
+{
+  public:
+    /**
+     * @param config machine + policy configuration
+     * @param num_threads simulated threads that will use this runtime
+     */
+    Runtime(RuntimeConfig config, unsigned num_threads);
+    ~Runtime();
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    /**
+     * Execute @p body atomically: transactionally with retries, then
+     * irrevocably under the global lock (best-effort HTM + fallback).
+     * The body may run many times; it must be idempotent apart from
+     * its Tx-mediated effects.
+     */
+    template <typename F>
+    void
+    atomic(sim::ThreadContext& ctx, F&& body)
+    {
+        FunctionRef<void(Tx&)> ref(body);
+        runAtomic(ctx, ref);
+    }
+
+    /**
+     * zEC12 constrained transaction (Section 2.2): guaranteed eventual
+     * commit, no fallback handler required. The body is limited to 32
+     * transactional operations and a 256-byte footprint; violations
+     * throw std::logic_error (a programming error, as on real zEC12).
+     */
+    template <typename F>
+    void
+    constrainedAtomic(sim::ThreadContext& ctx, F&& body)
+    {
+        FunctionRef<void(Tx&)> ref(body);
+        runConstrained(ctx, ref);
+    }
+
+    /**
+     * POWER8 rollback-only transaction: store buffering and rollback
+     * without conflict detection (single-thread speculation support).
+     * @return true if the body committed, false if it aborted.
+     */
+    template <typename F>
+    bool
+    rollbackOnly(sim::ThreadContext& ctx, F&& body)
+    {
+        FunctionRef<void(Tx&)> ref(body);
+        return runRollbackOnly(ctx, ref);
+    }
+
+    /**
+     * Plain transactional attempt without any retry logic or lock
+     * fallback. @return the abort cause, or AbortCause::none on
+     * commit. Building block for HLE and custom policies.
+     */
+    template <typename F>
+    AbortCause
+    tryOnce(sim::ThreadContext& ctx, F&& body)
+    {
+        FunctionRef<void(Tx&)> ref(body);
+        return attempt(txOf(ctx.id()), ctx, ref, lazySubscription(),
+                       true);
+    }
+
+    /** Execute @p body under the global lock (irrevocably). */
+    template <typename F>
+    void
+    runLocked(sim::ThreadContext& ctx, F&& body)
+    {
+        FunctionRef<void(Tx&)> ref(body);
+        runIrrevocable(ctx, txOf(ctx.id()), ref);
+    }
+
+    // --- Non-transactional (strongly isolated) accesses --------------
+
+    /** Non-transactional load; aborts a conflicting peer writer. */
+    template <typename T>
+    T
+    nonTxLoad(sim::ThreadContext& ctx, const T* addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        ctx.advance(config_.machine.nonTxLoadCost);
+        ctx.sync();
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), false);
+        return *addr;
+    }
+
+    /** Non-transactional store; aborts conflicting peer transactions. */
+    template <typename T>
+    void
+    nonTxStore(sim::ThreadContext& ctx, T* addr, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        ctx.advance(config_.machine.nonTxStoreCost);
+        ctx.sync();
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), true);
+        *addr = value;
+    }
+
+    /**
+     * Atomic (in virtual time) compare-and-swap with strong
+     * isolation; the substrate for lock-free baselines.
+     */
+    template <typename T>
+    bool
+    nonTxCas(sim::ThreadContext& ctx, T* addr, T expected, T desired)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        ctx.advance(config_.machine.casCost);
+        ctx.sync();
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), true);
+        if (*addr != expected)
+            return false;
+        *addr = desired;
+        return true;
+    }
+
+    /**
+     * Run @p body non-speculatively (direct accesses with strong
+     * isolation) WITHOUT taking the global fallback lock. The caller
+     * must provide mutual exclusion itself — this is the HLE
+     * lock-acquired path and the TLS in-order path.
+     */
+    template <typename F>
+    void
+    runNonSpeculative(sim::ThreadContext& ctx, F&& body)
+    {
+        Tx& tx = txOf(ctx.id());
+        tx.ctx_ = &ctx;
+        tx.status_ = TxStatus::irrevocable;
+        body(tx);
+        tx.status_ = TxStatus::inactive;
+        ++stats_[ctx.id()].irrevocableCommits;
+    }
+
+    /** Atomic (in virtual time) non-transactional fetch-add. */
+    template <typename T>
+    T
+    nonTxFetchAdd(sim::ThreadContext& ctx, T* addr, T delta)
+    {
+        static_assert(std::is_integral_v<T>);
+        ctx.advance(config_.machine.nonTxStoreCost +
+                    config_.machine.nonTxLoadCost);
+        ctx.sync();
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), true);
+        const T previous = *addr;
+        *addr = previous + delta;
+        return previous;
+    }
+
+    // --- Introspection ------------------------------------------------
+
+    const RuntimeConfig& config() const { return config_; }
+    const MachineConfig& machine() const { return config_.machine; }
+
+    /** Conflict-detection granularity in effect (mode-dependent on
+     *  Blue Gene/Q: 8 B short-running, 64 B long-running). */
+    std::size_t effectiveGranularity() const
+    {
+        return std::size_t(1) << conflictShift_;
+    }
+
+    /** Aggregated statistics across all threads. */
+    TxStats stats() const;
+
+    /** One thread's statistics. */
+    const TxStats& threadStats(unsigned tid) const
+    {
+        return stats_[tid];
+    }
+
+    TraceCollector& trace() { return trace_; }
+    const TraceCollector& trace() const { return trace_; }
+
+    /** The transaction context of a thread (tests / TLS runtime). */
+    Tx& txOf(unsigned tid) { return *txs_[tid]; }
+
+    /** Whether the global fallback lock is currently held. */
+    bool globalLockHeld() const { return lockWord_ != 0; }
+
+    /** Number of lines currently tracked in the conflict directory. */
+    std::size_t trackedConflictLines() const
+    {
+        return table_->trackedLines();
+    }
+
+    /** Cycles charged per probe when spinning on the global lock. */
+    static constexpr Cycles lockPollCost = 30;
+
+    /** Constrained-tx aborts before the hardware escalates. */
+    static constexpr unsigned escalationThreshold = 4;
+
+  private:
+    friend class Tx;
+
+    void runAtomic(sim::ThreadContext& ctx, FunctionRef<void(Tx&)> body);
+    void runAtomicFig1(sim::ThreadContext& ctx,
+                       FunctionRef<void(Tx&)> body);
+    void runAtomicBgq(sim::ThreadContext& ctx,
+                      FunctionRef<void(Tx&)> body);
+    void runConstrained(sim::ThreadContext& ctx,
+                        FunctionRef<void(Tx&)> body);
+    bool runRollbackOnly(sim::ThreadContext& ctx,
+                         FunctionRef<void(Tx&)> body);
+    void runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
+                        FunctionRef<void(Tx&)> body);
+
+    /**
+     * One transactional attempt: begin, body, commit. Returns
+     * AbortCause::none on success. When @p record_stats is set the
+     * abort is tallied (reported bucket chosen per machine).
+     */
+    AbortCause attempt(Tx& tx, sim::ThreadContext& ctx,
+                       FunctionRef<void(Tx&)> body, bool lazy_subscribe,
+                       bool record_stats);
+
+    void txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe);
+    void txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe);
+    void rollback(Tx& tx, sim::ThreadContext& ctx);
+    void recordAbort(Tx& tx, AbortCause cause);
+
+    /** Spin until the global lock is free (lemming-effect avoidance,
+     *  Figure 1 line 9) and no constrained transaction has priority. */
+    void waitToBegin(sim::ThreadContext& ctx);
+
+    void acquireGlobalLock(sim::ThreadContext& ctx);
+    void releaseGlobalLock(sim::ThreadContext& ctx);
+
+    /** Charge randomized exponential backoff after an abort. */
+    void backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts);
+
+    /** Resolve a conflict between the attacking access and a peer. */
+    void resolveConflict(Tx& attacker, unsigned victim_tid,
+                         AbortCause victim_cause);
+    void doomTx(unsigned victim_tid, AbortCause cause);
+
+    /** Strong isolation for non-transactional accesses. */
+    void nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write);
+
+    /** True if this machine/cause pair counts as persistent. */
+    bool isPersistent(AbortCause cause) const;
+
+    /** Blue Gene/Q long-running mode uses lazy lock subscription. */
+    bool lazySubscription() const
+    {
+        return config_.machine.vendor == Vendor::blueGeneQ &&
+               config_.bgqMode == BgqMode::longRunning;
+    }
+
+    // Speculation-ID pool (Blue Gene/Q, Section 2.1).
+    void acquireSpecId(Tx& tx, sim::ThreadContext& ctx);
+    void releaseSpecId(Tx& tx);
+
+    /** Threads currently transactional on a core (SMT sharing). */
+    unsigned activeTxOnCore(unsigned core) const
+    {
+        return activePerCore_[core];
+    }
+
+    RuntimeConfig config_;
+    unsigned conflictShift_;
+    unsigned capacityShift_;
+    std::unique_ptr<ConflictTable> table_;
+    std::vector<std::unique_ptr<Tx>> txs_;
+    std::vector<TxStats> stats_;
+    TraceCollector trace_;
+
+    /** The single-memory-word global fallback lock (Section 3). */
+    std::uint64_t lockWord_ = 0;
+
+    /** Thread holding constrained-transaction priority, or -1. */
+    int constrainedOwner_ = -1;
+
+    /** Monotonic transaction start order (olderWins arbitration). */
+    std::uint64_t startCounter_ = 0;
+
+    std::vector<unsigned> activePerCore_;
+
+    // Speculation-ID pool state.
+    unsigned freeSpecIds_ = 0;
+    unsigned retiredSpecIds_ = 0;
+
+    // Blue Gene/Q adaptation state (per thread).
+    std::vector<double> bgqFallbackScore_;
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_RUNTIME_HH

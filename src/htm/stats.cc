@@ -1,0 +1,49 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace htmsim::htm
+{
+
+namespace
+{
+
+double
+percentileOf(std::vector<std::uint32_t>& values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = q * double(values.size() - 1);
+    const std::size_t lower = std::size_t(std::floor(rank));
+    const std::size_t upper = std::min(lower + 1, values.size() - 1);
+    const double fraction = rank - double(lower);
+    return double(values[lower]) +
+           fraction * (double(values[upper]) - double(values[lower]));
+}
+
+} // namespace
+
+double
+TraceCollector::loadPercentileBytes(double q, std::size_t line_bytes) const
+{
+    std::vector<std::uint32_t> lines;
+    lines.reserve(samples_.size());
+    for (const auto& sample : samples_)
+        lines.push_back(sample.loadLines);
+    return percentileOf(lines, q) * double(line_bytes);
+}
+
+double
+TraceCollector::storePercentileBytes(double q,
+                                     std::size_t line_bytes) const
+{
+    std::vector<std::uint32_t> lines;
+    lines.reserve(samples_.size());
+    for (const auto& sample : samples_)
+        lines.push_back(sample.storeLines);
+    return percentileOf(lines, q) * double(line_bytes);
+}
+
+} // namespace htmsim::htm

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Transaction statistics: commits, aborts by category, serialization.
+ *
+ * Two parallel tallies are kept: the *reported* category (what the
+ * machine's abort-reason codes allow software to see — Blue Gene/Q
+ * reports nothing, so everything lands in "unclassified" exactly as in
+ * the paper's Figure 3) and the *true* model-internal cause, used by
+ * the analysis benches.
+ */
+
+#ifndef HTMSIM_HTM_STATS_HH
+#define HTMSIM_HTM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "abort.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::htm
+{
+
+constexpr std::size_t numAbortCategories =
+    std::size_t(AbortCategory::numCategories);
+
+/** Counters for one run (aggregated across threads by Runtime). */
+struct TxStats
+{
+    /** Transactions committed in hardware. */
+    std::uint64_t htmCommits = 0;
+    /** Critical sections executed under the global lock. */
+    std::uint64_t irrevocableCommits = 0;
+    /** Constrained-transaction commits (zEC12). */
+    std::uint64_t constrainedCommits = 0;
+    /** Aborts as classified through the machine's reason codes. */
+    std::array<std::uint64_t, numAbortCategories> reportedAborts{};
+    /** Aborts by model-internal true cause. */
+    std::array<std::uint64_t, 8> trueCauseAborts{};
+    /** Transactional loads/stores executed (committed or not). */
+    std::uint64_t txLoads = 0;
+    std::uint64_t txStores = 0;
+    /** Times a begin had to wait for a speculation ID (BG/Q). */
+    std::uint64_t specIdWaits = 0;
+    /** Speculation-ID reclamation passes performed (BG/Q). */
+    std::uint64_t specIdReclaims = 0;
+
+    std::uint64_t
+    totalAborts() const
+    {
+        std::uint64_t sum = 0;
+        for (auto count : reportedAborts)
+            sum += count;
+        return sum;
+    }
+
+    std::uint64_t totalCommits() const
+    {
+        return htmCommits + irrevocableCommits + constrainedCommits;
+    }
+
+    /**
+     * Paper metric: aborted transactions over all transactions,
+     * excluding irrevocable executions.
+     */
+    double
+    abortRatio() const
+    {
+        const std::uint64_t attempts = totalAborts() + htmCommits +
+                                       constrainedCommits;
+        return attempts == 0 ? 0.0 :
+               double(totalAborts()) / double(attempts);
+    }
+
+    /**
+     * Paper metric: irrevocable (global-lock) executions over all
+     * committed critical sections.
+     */
+    double
+    serializationRatio() const
+    {
+        const std::uint64_t commits = totalCommits();
+        return commits == 0 ? 0.0 :
+               double(irrevocableCommits) / double(commits);
+    }
+
+    double
+    reportedFraction(AbortCategory category) const
+    {
+        const std::uint64_t total = totalAborts();
+        return total == 0 ? 0.0 :
+               double(reportedAborts[std::size_t(category)]) /
+               double(total);
+    }
+
+    TxStats&
+    operator+=(const TxStats& other)
+    {
+        htmCommits += other.htmCommits;
+        irrevocableCommits += other.irrevocableCommits;
+        constrainedCommits += other.constrainedCommits;
+        for (std::size_t i = 0; i < reportedAborts.size(); ++i)
+            reportedAborts[i] += other.reportedAborts[i];
+        for (std::size_t i = 0; i < trueCauseAborts.size(); ++i)
+            trueCauseAborts[i] += other.trueCauseAborts[i];
+        txLoads += other.txLoads;
+        txStores += other.txStores;
+        specIdWaits += other.specIdWaits;
+        specIdReclaims += other.specIdReclaims;
+        return *this;
+    }
+};
+
+/** Per-transaction footprint sample for the Figure 10/11 traces. */
+struct FootprintSample
+{
+    std::uint32_t loadLines;
+    std::uint32_t storeLines;
+};
+
+/**
+ * Collects per-transaction footprints when tracing is enabled and
+ * reports percentiles in bytes (the paper plots 90-percentile sizes).
+ */
+class TraceCollector
+{
+  public:
+    void
+    record(std::uint32_t load_lines, std::uint32_t store_lines)
+    {
+        samples_.push_back({load_lines, store_lines});
+    }
+
+    const std::vector<FootprintSample>& samples() const
+    {
+        return samples_;
+    }
+
+    /** q-quantile (e.g. 0.90) of load footprints, in bytes. */
+    double loadPercentileBytes(double q, std::size_t line_bytes) const;
+
+    /** q-quantile of store footprints, in bytes. */
+    double storePercentileBytes(double q, std::size_t line_bytes) const;
+
+    void clear() { samples_.clear(); }
+
+  private:
+    std::vector<FootprintSample> samples_;
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_STATS_HH

@@ -1,0 +1,396 @@
+#include "tx.hh"
+
+#include <stdexcept>
+
+#include "node_pool.hh"
+#include "runtime.hh"
+
+namespace htmsim::htm
+{
+
+namespace
+{
+
+std::uint64_t
+readMemory(const void* addr, std::size_t size)
+{
+    std::uint64_t word = 0;
+    std::memcpy(&word, addr, size);
+    return word;
+}
+
+void
+writeMemory(void* addr, std::size_t size, std::uint64_t word)
+{
+    std::memcpy(addr, &word, size);
+}
+
+} // namespace
+
+void
+Tx::checkDoom()
+{
+    if (status_ == TxStatus::doomed)
+        throw TxAbortException{doomCause_};
+}
+
+void
+Tx::selfAbort(AbortCause cause)
+{
+    throw TxAbortException{cause};
+}
+
+std::uint64_t
+Tx::loadWord(const void* addr, std::size_t size)
+{
+    const MachineConfig& machine = runtime_->machine();
+    const auto uaddr = std::uintptr_t(addr);
+
+    if (status_ == TxStatus::irrevocable) {
+        ctx_->advance(machine.nonTxLoadCost);
+        ctx_->sync();
+        runtime_->nonTxConflict(tid_, uaddr, false);
+        return readMemory(addr, size);
+    }
+
+    if (suspended_) {
+        // POWER8 suspended mode: a plain access that does not grow the
+        // transactional footprint. It still behaves like any non-
+        // transactional access towards *other* transactions.
+        ctx_->advance(machine.nonTxLoadCost);
+        ctx_->sync();
+        runtime_->nonTxConflict(tid_, uaddr, false);
+        auto it = writeBuffer_.find(uaddr);
+        if (it != writeBuffer_.end())
+            return it->second.value;
+        return readMemory(addr, size);
+    }
+
+    if (status_ == TxStatus::rollbackOnly) {
+        // ROT loads are untracked: no conflict detection at all.
+        ctx_->advance(machine.txLoadCost);
+        ctx_->sync();
+        auto it = writeBuffer_.find(uaddr);
+        if (it != writeBuffer_.end())
+            return it->second.value;
+        return readMemory(addr, size);
+    }
+
+    assert(status_ == TxStatus::active || status_ == TxStatus::doomed);
+    runtime_->stats_[tid_].txLoads++;
+
+    Cycles cost = machine.txLoadCost;
+    if (machine.vendor == Vendor::blueGeneQ &&
+        runtime_->config().bgqMode == BgqMode::shortRunning) {
+        cost += machine.shortModeAccessExtra;
+    }
+    ctx_->advance(cost);
+    ctx_->sync();
+    checkDoom();
+
+    if (constrained_ && ++opCount_ > constrainedMaxOps())
+        throw std::logic_error("constrained tx exceeded operation limit");
+
+    if (machine.cacheFetchAbortProb > 0.0 &&
+        rng().nextBool(machine.cacheFetchAbortProb)) {
+        selfAbort(AbortCause::cacheFetch);
+    }
+
+    auto buffered = writeBuffer_.find(uaddr);
+    if (buffered != writeBuffer_.end()) {
+        assert(buffered->second.size == size);
+        return buffered->second.value;
+    }
+
+    touchConflictLine(uaddr, false);
+    maybePrefetch(uaddr);
+    touchCapacityLine(uaddr, false);
+    checkConstraintFootprint();
+    return readMemory(addr, size);
+}
+
+void
+Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
+{
+    const MachineConfig& machine = runtime_->machine();
+    const auto uaddr = std::uintptr_t(addr);
+
+    if (status_ == TxStatus::irrevocable) {
+        ctx_->advance(machine.nonTxStoreCost);
+        ctx_->sync();
+        runtime_->nonTxConflict(tid_, uaddr, true);
+        writeMemory(addr, size, value);
+        return;
+    }
+
+    if (suspended_) {
+        ctx_->advance(machine.nonTxStoreCost);
+        ctx_->sync();
+        runtime_->nonTxConflict(tid_, uaddr, true);
+        writeMemory(addr, size, value);
+        return;
+    }
+
+    if (status_ == TxStatus::rollbackOnly) {
+        // ROT stores are buffered and capacity-bounded (they occupy
+        // TMCAM entries) but raise no conflicts.
+        ctx_->advance(machine.txStoreCost);
+        ctx_->sync();
+        writeBuffer_[uaddr] = WriteEntry{value, std::uint8_t(size)};
+        touchCapacityLine(uaddr, true);
+        return;
+    }
+
+    assert(status_ == TxStatus::active || status_ == TxStatus::doomed);
+    runtime_->stats_[tid_].txStores++;
+
+    Cycles cost = machine.txStoreCost;
+    if (machine.vendor == Vendor::blueGeneQ &&
+        runtime_->config().bgqMode == BgqMode::shortRunning) {
+        cost += machine.shortModeAccessExtra;
+    }
+    ctx_->advance(cost);
+    ctx_->sync();
+    checkDoom();
+
+    if (constrained_ && ++opCount_ > constrainedMaxOps())
+        throw std::logic_error("constrained tx exceeded operation limit");
+
+    if (machine.cacheFetchAbortProb > 0.0 &&
+        rng().nextBool(machine.cacheFetchAbortProb)) {
+        selfAbort(AbortCause::cacheFetch);
+    }
+
+    touchConflictLine(uaddr, true);
+    maybePrefetch(uaddr);
+    touchCapacityLine(uaddr, true);
+    checkConstraintFootprint();
+    writeBuffer_[uaddr] = WriteEntry{value, std::uint8_t(size)};
+}
+
+void
+Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
+{
+    ConflictTable& table = *runtime_->table_;
+    const std::uintptr_t line_number = table.lineOf(addr);
+    std::uint8_t& flags = conflictLines_[line_number];
+
+    if (is_write) {
+        if (flags & lineWritten)
+            return;
+        ConflictTable::Line& line = table.line(line_number);
+        if (line.writer >= 0 && line.writer != int(tid_)) {
+            runtime_->resolveConflict(*this, unsigned(line.writer),
+                                      AbortCause::dataConflict);
+        }
+        std::uint64_t readers = line.readers &
+                                ~(std::uint64_t(1) << tid_);
+        while (readers != 0) {
+            const unsigned reader = unsigned(__builtin_ctzll(readers));
+            readers &= readers - 1;
+            runtime_->resolveConflict(*this, reader,
+                                      AbortCause::dataConflict);
+        }
+        line.writer = int(tid_);
+        flags |= lineWritten;
+    } else {
+        if (flags & (lineRead | lineWritten))
+            return;
+        ConflictTable::Line& line = table.line(line_number);
+        if (line.writer >= 0 && line.writer != int(tid_)) {
+            runtime_->resolveConflict(*this, unsigned(line.writer),
+                                      AbortCause::dataConflict);
+        }
+        line.readers |= std::uint64_t(1) << tid_;
+        flags |= lineRead;
+    }
+}
+
+void
+Tx::maybePrefetch(std::uintptr_t addr)
+{
+    const MachineConfig& machine = runtime_->machine();
+    if (machine.prefetchConflictProb <= 0.0 ||
+        !runtime_->config().prefetchEnabled) {
+        return;
+    }
+    if (!rng().nextBool(machine.prefetchConflictProb))
+        return;
+
+    // The adjacent-line prefetcher pulls the accessed line's 128-byte
+    // buddy into the cache; the HTM tracking treats it as
+    // transactionally read, so a later peer store to that line raises
+    // an unnecessary data conflict (Section 5.1, validated by Intel
+    // developers). Structures an odd number of lines long therefore
+    // leak conflicts across their boundaries (kmeans' 192-byte
+    // clusters).
+    ConflictTable& table = *runtime_->table_;
+    const std::uintptr_t neighbour = table.lineOf(addr) ^ 1;
+    ConflictTable::Line& line = table.line(neighbour);
+    if (line.writer >= 0 && line.writer != int(tid_))
+        return; // owned elsewhere: the prefetch is dropped
+    line.readers |= std::uint64_t(1) << tid_;
+    conflictLines_[neighbour] |= lineRead;
+}
+
+void
+Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
+{
+    const MachineConfig& machine = runtime_->machine();
+    const std::uintptr_t line_number = addr >> runtime_->capacityShift_;
+    std::uint8_t& flags = capacityLines_[line_number];
+
+    bool new_load = false;
+    bool new_store = false;
+    if (is_write && !(flags & lineWritten)) {
+        flags |= lineWritten;
+        ++storeLines_;
+        new_store = true;
+    } else if (!is_write && !(flags & lineRead)) {
+        flags |= lineRead;
+        ++loadLines_;
+        new_load = true;
+    }
+    if (!new_load && !new_store)
+        return;
+    if (runtime_->config().ignoreCapacity)
+        return;
+    if (status_ == TxStatus::rollbackOnly && new_load)
+        return;
+
+    // SMT threads share the per-core tracking resources: the budget
+    // shrinks with the number of concurrently transactional threads
+    // on this core (Section 2, "resource sharing among SMT threads").
+    const unsigned sharers = std::max(
+        1u, runtime_->activeTxOnCore(machine.coreOf(tid_)));
+
+    if (machine.combinedCapacity) {
+        const std::size_t budget =
+            std::max<std::size_t>(1, machine.loadCapacityLines() /
+                                         sharers);
+        if (capacityLines_.size() > budget)
+            selfAbort(AbortCause::capacityOverflow);
+    } else if (new_load) {
+        const std::size_t budget =
+            std::max<std::size_t>(1, machine.loadCapacityLines() /
+                                         sharers);
+        if (loadLines_ > budget)
+            selfAbort(AbortCause::capacityOverflow);
+    } else {
+        const std::size_t budget =
+            std::max<std::size_t>(1, machine.storeCapacityLines() /
+                                         sharers);
+        if (storeLines_ > budget)
+            selfAbort(AbortCause::capacityOverflow);
+    }
+
+    if (new_store && machine.storeSets > 0) {
+        // Intel: transactional stores must stay in the L1; a way
+        // conflict evicts a transactional line and aborts.
+        const unsigned set = unsigned(line_number) &
+                             (machine.storeSets - 1);
+        const unsigned ways_used = ++storeSetLines_[set];
+        if (ways_used > std::max(1u, machine.storeWays / sharers))
+            selfAbort(AbortCause::wayConflict);
+    }
+}
+
+void
+Tx::checkConstraintFootprint()
+{
+    if (constrained_ && capacityLines_.size() > constrainedMaxLines())
+        throw std::logic_error("constrained tx exceeded footprint limit");
+}
+
+void
+Tx::work(sim::Cycles cycles)
+{
+    ctx_->step(cycles);
+    if (status_ == TxStatus::active)
+        checkDoom();
+}
+
+void*
+Tx::allocBytes(std::size_t bytes)
+{
+    if (constrained_)
+        throw std::logic_error("allocation inside a constrained tx");
+    void* memory = NodePool::instance().alloc(bytes);
+    if (status_ == TxStatus::irrevocable)
+        return memory;
+
+    assert(status_ == TxStatus::active ||
+           status_ == TxStatus::rollbackOnly);
+    speculativeAllocs_.push_back({memory, bytes});
+
+    // Initializing stores are transactional on real HTM: charge the
+    // object's lines to the write footprint and claim them in the
+    // conflict directory.
+    const MachineConfig& machine = runtime_->machine();
+    const auto base = std::uintptr_t(memory);
+    for (std::uintptr_t offset = 0; offset < bytes;
+         offset += machine.capacityLineBytes) {
+        ctx_->advance(machine.txStoreCost);
+        if (status_ == TxStatus::active)
+            touchConflictLine(base + offset, true);
+        touchCapacityLine(base + offset, true);
+    }
+    ctx_->sync();
+    checkDoom();
+    return memory;
+}
+
+void
+Tx::deallocBytes(void* ptr, std::size_t bytes)
+{
+    if (status_ == TxStatus::irrevocable) {
+        NodePool::instance().free(ptr, bytes);
+        return;
+    }
+    assert(status_ == TxStatus::active ||
+           status_ == TxStatus::rollbackOnly);
+    deferredFrees_.push_back({ptr, bytes});
+}
+
+void
+Tx::abortTx()
+{
+    if (status_ == TxStatus::irrevocable)
+        throw std::logic_error("tabort in irrevocable execution");
+    selfAbort(AbortCause::explicitAbort);
+}
+
+void
+Tx::suspend()
+{
+    if (!runtime_->machine().hasSuspendResume)
+        throw std::logic_error("suspend: machine lacks suspend/resume");
+    assert(status_ == TxStatus::active);
+    suspended_ = true;
+}
+
+void
+Tx::resume()
+{
+    assert(suspended_);
+    suspended_ = false;
+    checkDoom();
+}
+
+void
+Tx::resetAttemptState()
+{
+    writeBuffer_.clear();
+    conflictLines_.clear();
+    capacityLines_.clear();
+    storeSetLines_.clear();
+    loadLines_ = 0;
+    storeLines_ = 0;
+    opCount_ = 0;
+    suspended_ = false;
+    doomCause_ = AbortCause::none;
+    speculativeAllocs_.clear();
+    deferredFrees_.clear();
+}
+
+} // namespace htmsim::htm

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Per-thread transaction context: the API application code programs
+ * against inside an atomic section.
+ *
+ * A Tx is handed to the body passed to Runtime::atomic(). All shared
+ * loads and stores inside the body must go through Tx::load()/store()
+ * (the analogue of STAMP's TM_READ/TM_WRITE); transactional allocation
+ * must use Tx::create()/destroy() (TM_MALLOC/TM_FREE). The same body
+ * code runs unchanged when the section falls back to the global lock:
+ * the Tx is then in irrevocable mode and accesses pass straight
+ * through to memory with strong isolation.
+ */
+
+#ifndef HTMSIM_HTM_TX_HH
+#define HTMSIM_HTM_TX_HH
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "abort.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::htm
+{
+
+class Runtime;
+
+/** Lifecycle state of a transaction context. */
+enum class TxStatus : std::uint8_t
+{
+    inactive,
+    active,
+    doomed,       ///< aborted by a peer; unwinds at the next tx event
+    irrevocable,  ///< running under the global lock
+    rollbackOnly, ///< POWER8 ROT: buffering without conflict detection
+};
+
+/**
+ * Transaction context for one simulated thread.
+ *
+ * Supported access types are trivially copyable and at most 8 bytes
+ * (word-granular store buffering); every location must be accessed
+ * with a single consistent type, which all library data structures
+ * honor.
+ */
+class Tx
+{
+  public:
+    /** Transactional load (TM_READ). */
+    template <typename T>
+    T
+    load(const T* addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        const std::uint64_t word = loadWord(addr, sizeof(T));
+        T value;
+        std::memcpy(&value, &word, sizeof(T));
+        return value;
+    }
+
+    /** Transactional store (TM_WRITE). */
+    template <typename T>
+    void
+    store(T* addr, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        std::uint64_t word = 0;
+        std::memcpy(&word, &value, sizeof(T));
+        storeWord(addr, sizeof(T), word);
+    }
+
+    /** Charge @p cycles of in-transaction compute work. */
+    void work(sim::Cycles cycles);
+
+    /**
+     * Transactionally allocate and construct (TM_MALLOC). The object's
+     * memory is charged to the transactional store footprint — real
+     * HTM tracks initializing stores too — and is released if the
+     * transaction aborts. T must be trivially destructible.
+     */
+    template <typename T, typename... Args>
+    T*
+    create(Args&&... args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>);
+        void* memory = allocBytes(sizeof(T));
+        return ::new (memory) T(std::forward<Args>(args)...);
+    }
+
+    /**
+     * Transactionally free (TM_FREE): the memory is reclaimed only if
+     * the transaction commits.
+     */
+    template <typename T>
+    void
+    destroy(T* ptr)
+    {
+        static_assert(std::is_trivially_destructible_v<T>);
+        deallocBytes(ptr, sizeof(T));
+    }
+
+    /** Raw transactional allocation; footprint-charged like create(). */
+    void* allocBytes(std::size_t bytes);
+
+    /** Raw deferred free. */
+    void deallocBytes(void* ptr, std::size_t bytes);
+
+    /** Explicit abort (tabort). Not allowed in irrevocable mode. */
+    [[noreturn]] void abortTx();
+
+    /**
+     * POWER8 suspend: subsequent accesses are non-transactional until
+     * resume(). Only valid on machines with suspend/resume support.
+     */
+    void suspend();
+
+    /** POWER8 resume. */
+    void resume();
+
+    bool isSuspended() const { return suspended_; }
+    bool isIrrevocable() const { return status_ == TxStatus::irrevocable; }
+    TxStatus status() const { return status_; }
+
+    /** Owning simulated thread id. */
+    unsigned tid() const { return tid_; }
+
+    sim::ThreadContext& ctx() { return *ctx_; }
+    sim::Rng& rng() { return ctx_->rng(); }
+    Runtime& runtime() { return *runtime_; }
+
+    /** Unique transactional load lines so far (capacity granularity). */
+    std::uint32_t loadLines() const { return loadLines_; }
+    /** Unique transactional store lines so far. */
+    std::uint32_t storeLines() const { return storeLines_; }
+
+  private:
+    friend class Runtime;
+
+    /// Buffered speculative value for one word.
+    struct WriteEntry
+    {
+        std::uint64_t value;
+        std::uint8_t size;
+    };
+
+    /// One deferred or speculative allocation.
+    struct AllocRecord
+    {
+        void* ptr;
+        std::size_t bytes;
+    };
+
+    /// Flag bits used in the line maps.
+    static constexpr std::uint8_t lineRead = 1;
+    static constexpr std::uint8_t lineWritten = 2;
+
+    /// zEC12 constrained-transaction limits (Section 2.2). The 256-byte
+    /// operand footprint is approximated as four cache lines.
+    static constexpr std::uint32_t constrainedMaxOps() { return 32; }
+    static constexpr std::size_t constrainedMaxLines() { return 4; }
+
+    std::uint64_t loadWord(const void* addr, std::size_t size);
+    void storeWord(void* addr, std::size_t size, std::uint64_t value);
+
+    /// Model the Intel adjacent-line prefetcher (Section 5.1).
+    void maybePrefetch(std::uintptr_t addr);
+    /// Enforce the constrained-transaction footprint limit.
+    void checkConstraintFootprint();
+
+    /// Throw if a peer doomed this transaction.
+    void checkDoom();
+
+    /// Raise an abort originating from this transaction itself.
+    [[noreturn]] void selfAbort(AbortCause cause);
+
+    /// Register a line in the conflict directory (read or write).
+    void touchConflictLine(std::uintptr_t addr, bool is_write);
+    /// Account a line against the capacity budgets.
+    void touchCapacityLine(std::uintptr_t addr, bool is_write);
+
+    /// Reset all per-attempt state (buffers, sets, counters).
+    void resetAttemptState();
+
+    Runtime* runtime_ = nullptr;
+    sim::ThreadContext* ctx_ = nullptr;
+    unsigned tid_ = 0;
+
+    TxStatus status_ = TxStatus::inactive;
+    AbortCause doomCause_ = AbortCause::none;
+    bool suspended_ = false;
+    bool constrained_ = false;
+    bool unkillable_ = false;
+    bool holdsSpecId_ = false;
+    std::uint64_t startOrder_ = 0;
+
+    std::unordered_map<std::uintptr_t, WriteEntry> writeBuffer_;
+    /// Conflict-granularity lines touched: bit0 = read, bit1 = write.
+    std::unordered_map<std::uintptr_t, std::uint8_t> conflictLines_;
+    /// Capacity-granularity lines touched: bit0 = read, bit1 = write.
+    std::unordered_map<std::uintptr_t, std::uint8_t> capacityLines_;
+    /// Store lines per L1 set (Intel way-conflict model).
+    std::unordered_map<unsigned, unsigned> storeSetLines_;
+
+    std::uint32_t loadLines_ = 0;
+    std::uint32_t storeLines_ = 0;
+    std::uint32_t opCount_ = 0;
+
+    std::vector<AllocRecord> speculativeAllocs_;
+    std::vector<AllocRecord> deferredFrees_;
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_TX_HH

@@ -1,0 +1,80 @@
+#include "fiber.hh"
+
+#include <cassert>
+#include <cstdint>
+
+namespace htmsim::sim
+{
+
+namespace
+{
+/// The fiber currently executing, or nullptr when the owner runs.
+thread_local Fiber* current_fiber = nullptr;
+} // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(stack_bytes)
+{
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = &ownerContext_;
+    auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
+                unsigned(self >> 32), unsigned(self & 0xffffffffu));
+}
+
+Fiber::~Fiber()
+{
+    // Destroying an unfinished fiber abandons its stack without unwinding.
+    // The scheduler only destroys fibers after run() completes, so this is
+    // reached only when a simulation is torn down after an error.
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto self = reinterpret_cast<Fiber*>(
+        (std::uintptr_t(hi) << 32) | std::uintptr_t(lo));
+    self->run();
+}
+
+void
+Fiber::run()
+{
+    try {
+        body_();
+    } catch (...) {
+        pendingException_ = std::current_exception();
+    }
+    finished_ = true;
+    // Falling off the trampoline returns to ownerContext_ via uc_link.
+}
+
+void
+Fiber::resume()
+{
+    assert(!finished_ && "resume() on a finished fiber");
+    assert(current_fiber == nullptr && "resume() from inside a fiber");
+    started_ = true;
+    current_fiber = this;
+    swapcontext(&ownerContext_, &context_);
+    current_fiber = nullptr;
+    if (pendingException_) {
+        auto exception = pendingException_;
+        pendingException_ = nullptr;
+        std::rethrow_exception(exception);
+    }
+}
+
+void
+Fiber::yieldToOwner()
+{
+    Fiber* self = current_fiber;
+    assert(self && "yieldToOwner() outside any fiber");
+    current_fiber = nullptr;
+    swapcontext(&self->context_, &self->ownerContext_);
+    current_fiber = self;
+}
+
+} // namespace htmsim::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cooperative user-level fibers built on ucontext.
+ *
+ * Each simulated thread runs on its own fiber. Exactly one fiber (or the
+ * scheduler) executes at any host instant, so simulated code needs no
+ * host-level synchronization.
+ */
+
+#ifndef HTMSIM_SIM_FIBER_HH
+#define HTMSIM_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace htmsim::sim
+{
+
+/**
+ * A single cooperative fiber.
+ *
+ * The owner (the scheduler) resumes the fiber with resume(); the fiber
+ * returns control with yieldToOwner(). When the body function returns or
+ * throws, the fiber becomes finished and resume() returns immediately.
+ * An exception escaping the body is captured and rethrown from resume().
+ */
+class Fiber
+{
+  public:
+    /** Create a fiber that will run @p body when first resumed. */
+    explicit Fiber(std::function<void()> body,
+                   std::size_t stack_bytes = defaultStackBytes);
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+    ~Fiber();
+
+    /**
+     * Transfer control into the fiber until it yields or finishes.
+     * Must not be called from inside any fiber of this library.
+     * Rethrows any exception that escaped the fiber body.
+     */
+    void resume();
+
+    /** True once the body function has returned or thrown. */
+    bool finished() const { return finished_; }
+
+    /**
+     * Return control to the resume() call that entered the current
+     * fiber. Must be called from inside a fiber.
+     */
+    static void yieldToOwner();
+
+    /** Default stack size; STAMP's yada recursion fits comfortably. */
+    static constexpr std::size_t defaultStackBytes = 1024 * 1024;
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run();
+
+    std::function<void()> body_;
+    std::vector<char> stack_;
+    ucontext_t context_;
+    ucontext_t ownerContext_;
+    std::exception_ptr pendingException_;
+    bool finished_ = false;
+    bool started_ = false;
+};
+
+} // namespace htmsim::sim
+
+#endif // HTMSIM_SIM_FIBER_HH

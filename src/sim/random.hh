@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Simulation results must be exactly reproducible across hosts, so all
+ * randomness in the library flows through this PRNG rather than
+ * std::random_device or the (implementation-defined) std:: distributions.
+ */
+
+#ifndef HTMSIM_SIM_RANDOM_HH
+#define HTMSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace htmsim::sim
+{
+
+/** SplitMix64 step; used to expand seeds into stream states. */
+inline std::uint64_t
+splitMix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256** core).
+ *
+ * One instance per simulated thread; streams seeded from a master seed
+ * plus the thread id are statistically independent.
+ */
+class Rng
+{
+  public:
+    /** Construct from a master seed and a stream id (e.g. thread id). */
+    explicit Rng(std::uint64_t seed = 1, std::uint64_t stream = 0)
+    {
+        std::uint64_t sm = seed + 0x632be59bd9b4e019ULL * (stream + 1);
+        for (auto& word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    nextU64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Next 32 uniformly random bits. */
+    std::uint32_t nextU32() { return std::uint32_t(nextU64() >> 32); }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    nextRange(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free variant is fine here;
+        // the slight bias for huge bounds is irrelevant for workloads.
+        return std::uint64_t((__uint128_t(nextU64()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return double(nextU64() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace htmsim::sim
+
+#endif // HTMSIM_SIM_RANDOM_HH

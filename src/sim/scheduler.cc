@@ -1,0 +1,143 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace htmsim::sim
+{
+
+void
+ThreadContext::sync()
+{
+    if (scheduler_->runnableBefore(now_))
+        yieldNow();
+}
+
+void
+ThreadContext::yieldNow()
+{
+    auto& thread = *scheduler_->threads_[id_];
+    thread.state = Scheduler::State::runnable;
+    scheduler_->enqueue(id_);
+    Fiber::yieldToOwner();
+}
+
+void
+ThreadContext::block()
+{
+    auto& thread = *scheduler_->threads_[id_];
+    thread.state = Scheduler::State::blocked;
+    Fiber::yieldToOwner();
+}
+
+Scheduler::Scheduler(std::uint64_t seed) : seed_(seed) {}
+
+Scheduler::~Scheduler() = default;
+
+unsigned
+Scheduler::spawn(std::function<void(ThreadContext&)> body)
+{
+    assert(!running_ && "spawn() during run() is not supported");
+    const unsigned tid = unsigned(threads_.size());
+    auto thread = std::make_unique<Thread>();
+    thread->context.scheduler_ = this;
+    thread->context.id_ = tid;
+    thread->context.rng_ = Rng(seed_, tid);
+    ThreadContext* context = &thread->context;
+    auto wrapped = [body = std::move(body), context] { body(*context); };
+    thread->fiber = std::make_unique<Fiber>(std::move(wrapped));
+    threads_.push_back(std::move(thread));
+    enqueue(tid);
+    return tid;
+}
+
+void
+Scheduler::run()
+{
+    running_ = true;
+    while (!runQueue_.empty()) {
+        const QueueEntry entry = runQueue_.top();
+        runQueue_.pop();
+        Thread& thread = *threads_[entry.tid];
+        assert(thread.state == State::runnable);
+        thread.state = State::running;
+        runningTid_ = entry.tid;
+        thread.fiber->resume();
+        if (thread.fiber->finished()) {
+            thread.state = State::finished;
+            thread.finishTime = thread.context.now();
+        }
+        // Otherwise the fiber yielded: block() left it blocked, or
+        // yieldNow() already re-enqueued it as runnable.
+    }
+    running_ = false;
+    for (const auto& thread : threads_) {
+        if (thread->state != State::finished) {
+            throw SimError("simulation deadlock: thread " +
+                           std::to_string(thread->context.id()) +
+                           " blocked forever");
+        }
+    }
+}
+
+void
+Scheduler::wake(unsigned tid, Cycles at_least)
+{
+    Thread& thread = *threads_[tid];
+    if (thread.state != State::blocked)
+        return;
+    thread.context.now_ = std::max(thread.context.now_, at_least);
+    thread.state = State::runnable;
+    enqueue(tid);
+}
+
+Cycles
+Scheduler::makespan() const
+{
+    Cycles result = 0;
+    for (const auto& thread : threads_)
+        result = std::max(result, thread->finishTime);
+    return result;
+}
+
+Cycles
+Scheduler::finishTime(unsigned tid) const
+{
+    return threads_[tid]->finishTime;
+}
+
+Cycles
+Scheduler::totalThreadTime() const
+{
+    Cycles result = 0;
+    for (const auto& thread : threads_)
+        result += thread->finishTime;
+    return result;
+}
+
+bool
+Scheduler::othersPending(unsigned tid) const
+{
+    for (const auto& thread : threads_) {
+        if (thread->context.id() != tid &&
+            thread->state != State::finished) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Scheduler::enqueue(unsigned tid)
+{
+    runQueue_.push(QueueEntry{threads_[tid]->context.now(),
+                              orderCounter_++, tid});
+}
+
+bool
+Scheduler::runnableBefore(Cycles time) const
+{
+    return !runQueue_.empty() && runQueue_.top().time < time;
+}
+
+} // namespace htmsim::sim

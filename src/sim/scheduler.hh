@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Discrete-event scheduler for simulated threads.
+ *
+ * Every simulated thread owns a virtual clock measured in cycles. The
+ * scheduler always resumes the runnable thread with the smallest clock,
+ * so shared-memory events issued at scheduling points occur in global
+ * virtual-time order. This is what makes speed-up measurements on a
+ * single host core meaningful: the makespan (maximum finish time) of a
+ * run is the simulated parallel execution time.
+ */
+
+#ifndef HTMSIM_SIM_SCHEDULER_HH
+#define HTMSIM_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fiber.hh"
+#include "random.hh"
+
+namespace htmsim::sim
+{
+
+/** Virtual time, in processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Thrown when the simulation cannot make progress (virtual livelock). */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Scheduler;
+
+/**
+ * Per-thread handle passed to simulated-thread bodies.
+ *
+ * All methods must be called from within the owning thread's fiber,
+ * except now() and id() which are always safe.
+ */
+class ThreadContext
+{
+  public:
+    /** Simulated thread id, dense from 0. */
+    unsigned id() const { return id_; }
+
+    /** This thread's virtual clock. */
+    Cycles now() const { return now_; }
+
+    /** This thread's deterministic random stream. */
+    Rng& rng() { return rng_; }
+
+    /** Charge @p cycles of compute time without a scheduling point.
+     *  The per-thread time scale models core sharing (SMT): a thread
+     *  on an oversubscribed core advances proportionally slower. */
+    void
+    advance(Cycles cycles)
+    {
+        now_ += Cycles(double(cycles) * timeScale_ + 0.5);
+    }
+
+    /** Set the execution-rate multiplier (>= 1; 1 = dedicated core). */
+    void setTimeScale(double scale) { timeScale_ = scale; }
+    double timeScale() const { return timeScale_; }
+
+    /**
+     * Scheduling point: if another runnable thread is behind this
+     * thread in virtual time, switch to it. Call this before every
+     * globally visible event so events happen in virtual-time order.
+     */
+    void sync();
+
+    /** advance() then sync(); the common per-event pattern. */
+    void step(Cycles cycles) { advance(cycles); sync(); }
+
+    /** Unconditional scheduling point (used by spin loops). */
+    void yieldNow();
+
+    /**
+     * Block until another thread calls Scheduler::wake(id()).
+     * On wake-up the clock is advanced to at least the waker's clock.
+     */
+    void block();
+
+    /**
+     * Spin in virtual time until @p pred returns true, charging
+     * @p poll_cycles per probe. Throws SimError after an enormous
+     * number of probes (virtual livelock / deadlock guard).
+     */
+    template <typename Pred>
+    void
+    spinUntil(Pred pred, Cycles poll_cycles)
+    {
+        std::uint64_t probes = 0;
+        while (!pred()) {
+            advance(poll_cycles);
+            yieldNow();
+            if (++probes > spinProbeLimit)
+                throw SimError("spinUntil: virtual livelock detected");
+        }
+    }
+
+    /** The scheduler running this thread. */
+    Scheduler& scheduler() { return *scheduler_; }
+
+    /** Probe guard for spinUntil. */
+    static constexpr std::uint64_t spinProbeLimit = 50'000'000;
+
+  private:
+    friend class Scheduler;
+
+    Scheduler* scheduler_ = nullptr;
+    unsigned id_ = 0;
+    Cycles now_ = 0;
+    double timeScale_ = 1.0;
+    Rng rng_;
+};
+
+/**
+ * Owns the simulated threads and runs them to completion in
+ * earliest-virtual-time-first order.
+ */
+class Scheduler
+{
+  public:
+    /** @param seed master seed for all per-thread random streams. */
+    explicit Scheduler(std::uint64_t seed = 1);
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /**
+     * Add a simulated thread. Threads start with clock 0.
+     * @return the new thread's id.
+     */
+    unsigned spawn(std::function<void(ThreadContext&)> body);
+
+    /** Run until every spawned thread finishes. Rethrows body errors. */
+    void run();
+
+    /** Make a blocked thread runnable; clock pulled up to @p at_least. */
+    void wake(unsigned tid, Cycles at_least);
+
+    /** Maximum finish time over all threads (valid after run()). */
+    Cycles makespan() const;
+
+    /** Finish time of one thread (valid after run()). */
+    Cycles finishTime(unsigned tid) const;
+
+    /** Sum of all threads' finish times (total busy virtual time). */
+    Cycles totalThreadTime() const;
+
+    unsigned numThreads() const { return unsigned(threads_.size()); }
+
+    /** Context access (e.g. for post-run inspection). */
+    ThreadContext& context(unsigned tid) { return threads_[tid]->context; }
+
+    /**
+     * True if any thread other than @p tid could still run or wake up.
+     * Used by spin loops to detect true deadlock early.
+     */
+    bool othersPending(unsigned tid) const;
+
+  private:
+    friend class ThreadContext;
+
+    enum class State { runnable, running, blocked, finished };
+
+    struct Thread
+    {
+        ThreadContext context;
+        std::unique_ptr<Fiber> fiber;
+        State state = State::runnable;
+        Cycles finishTime = 0;
+    };
+
+    struct QueueEntry
+    {
+        Cycles time;
+        std::uint64_t order;
+        unsigned tid;
+
+        bool
+        operator>(const QueueEntry& other) const
+        {
+            if (time != other.time)
+                return time > other.time;
+            return order > other.order;
+        }
+    };
+
+    void enqueue(unsigned tid);
+    /// True when a runnable thread is strictly behind @p time.
+    bool runnableBefore(Cycles time) const;
+
+    std::uint64_t seed_;
+    std::uint64_t orderCounter_ = 0;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>> runQueue_;
+    unsigned runningTid_ = 0;
+    bool running_ = false;
+};
+
+} // namespace htmsim::sim
+
+#endif // HTMSIM_SIM_SCHEDULER_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Umbrella header for the simulation substrate.
+ */
+
+#ifndef HTMSIM_SIM_SIM_HH
+#define HTMSIM_SIM_SIM_HH
+
+#include "fiber.hh"     // IWYU pragma: export
+#include "random.hh"    // IWYU pragma: export
+#include "scheduler.hh" // IWYU pragma: export
+#include "sync.hh"      // IWYU pragma: export
+
+namespace htmsim::sim
+{
+
+/**
+ * Convenience: run @p body on @p num_threads simulated threads and
+ * return the makespan (max finish time) in cycles.
+ */
+inline Cycles
+runThreads(unsigned num_threads, std::uint64_t seed,
+           const std::function<void(ThreadContext&)>& body)
+{
+    Scheduler scheduler(seed);
+    for (unsigned i = 0; i < num_threads; ++i)
+        scheduler.spawn(body);
+    scheduler.run();
+    return scheduler.makespan();
+}
+
+} // namespace htmsim::sim
+
+#endif // HTMSIM_SIM_SIM_HH

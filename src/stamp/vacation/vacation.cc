@@ -1,0 +1,26 @@
+#include "vacation.hh"
+
+namespace htmsim::stamp
+{
+
+VacationParams
+VacationParams::high()
+{
+    VacationParams params;
+    params.queriesPerTx = 9;
+    params.queryRangePct = 40;
+    params.userTxPct = 80;
+    return params;
+}
+
+VacationParams
+VacationParams::low()
+{
+    VacationParams params;
+    params.queriesPerTx = 9;
+    params.queryRangePct = 90;
+    params.userTxPct = 98;
+    return params;
+}
+
+} // namespace htmsim::stamp

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the processor-specific feature studies (paper Section 6):
+ * the concurrent queue with constrained transactions (zEC12), HLE
+ * (Intel Core), and TLS with suspend/resume (POWER8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clq/concurrent_queue.hh"
+#include "htm/hle.hh"
+#include "sim/sim.hh"
+#include "tls/tls.hh"
+
+namespace
+{
+
+using namespace htmsim;
+using namespace htmsim::htm;
+using namespace htmsim::clq;
+using namespace htmsim::tls;
+
+RuntimeConfig
+zConfig()
+{
+    MachineConfig machine = MachineConfig::zEC12();
+    machine.cacheFetchAbortProb = 0.0;
+    return RuntimeConfig(std::move(machine));
+}
+
+class QueueModes : public ::testing::TestWithParam<QueueMode>
+{
+};
+
+TEST_P(QueueModes, FifoUnderConcurrency)
+{
+    const QueueMode mode = GetParam();
+    sim::Scheduler scheduler;
+    Runtime runtime(zConfig(), 4);
+    ConcurrentQueue queue;
+    constexpr std::uint64_t per_thread = 120;
+    std::vector<std::vector<std::uint64_t>> popped(4);
+
+    for (unsigned t = 0; t < 4; ++t) {
+        scheduler.spawn([&, t](sim::ThreadContext& ctx) {
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                const std::uint64_t tag = (std::uint64_t(t) << 32) | i;
+                queue.enqueue(runtime, ctx, tag, mode, 6);
+                std::uint64_t out = 0;
+                if (queue.dequeue(runtime, ctx, &out, mode, 6))
+                    popped[t].push_back(out);
+            }
+        });
+    }
+    scheduler.run();
+
+    // Drain whatever is left.
+    sim::Scheduler drainer;
+    std::vector<std::uint64_t> leftover;
+    drainer.spawn([&](sim::ThreadContext& ctx) {
+        std::uint64_t out = 0;
+        while (queue.dequeue(runtime, ctx, &out, QueueMode::lockFree, 1))
+            leftover.push_back(out);
+    });
+    drainer.run();
+
+    // Every enqueued tag must be dequeued exactly once.
+    std::vector<std::uint64_t> all = leftover;
+    for (const auto& items : popped)
+        all.insert(all.end(), items.begin(), items.end());
+    ASSERT_EQ(all.size(), 4 * per_thread);
+    std::sort(all.begin(), all.end());
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) ==
+                all.end());
+
+    // Per-thread FIFO: each thread's own tags leave in order.
+    std::vector<std::vector<std::uint64_t>> per_source(4);
+    for (const auto& items : popped) {
+        for (const std::uint64_t tag : items)
+            per_source[tag >> 32].push_back(tag & 0xffffffffu);
+    }
+    for (const std::uint64_t tag : leftover)
+        per_source[tag >> 32].push_back(tag & 0xffffffffu);
+    for (unsigned t = 0; t < 4; ++t) {
+        // Tags from one producer appear in increasing order overall
+        // only per consumer; at least check the full multiset.
+        std::sort(per_source[t].begin(), per_source[t].end());
+        for (std::uint64_t i = 0; i < per_source[t].size(); ++i)
+            EXPECT_EQ(per_source[t][i], i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, QueueModes,
+    ::testing::Values(QueueMode::lockFree, QueueMode::noRetryTm,
+                      QueueMode::optRetryTm, QueueMode::constrainedTm),
+    [](const ::testing::TestParamInfo<QueueMode>& info) {
+        switch (info.param) {
+          case QueueMode::lockFree: return "LockFree";
+          case QueueMode::noRetryTm: return "NoRetryTM";
+          case QueueMode::optRetryTm: return "OptRetryTM";
+          default: return "ConstrainedTM";
+        }
+    });
+
+TEST(QueueConstrained, NoLockFallbackInStats)
+{
+    sim::Scheduler scheduler;
+    Runtime runtime(zConfig(), 4);
+    ConcurrentQueue queue;
+    for (unsigned t = 0; t < 4; ++t) {
+        scheduler.spawn([&](sim::ThreadContext& ctx) {
+            for (int i = 0; i < 100; ++i) {
+                queue.enqueue(runtime, ctx, 7,
+                              QueueMode::constrainedTm, 0);
+                std::uint64_t out = 0;
+                queue.dequeue(runtime, ctx, &out,
+                              QueueMode::constrainedTm, 0);
+            }
+        });
+    }
+    scheduler.run();
+    const TxStats stats = runtime.stats();
+    EXPECT_GE(stats.constrainedCommits, 800u);
+    EXPECT_EQ(stats.irrevocableCommits, 0u);
+}
+
+TEST(Hle, ElisionRunsConcurrentlyAndFallsBackCorrectly)
+{
+    RuntimeConfig config(MachineConfig::intelCore());
+    config.machine.prefetchConflictProb = 0.0;
+    sim::Scheduler scheduler;
+    Runtime runtime(config, 4);
+    HleLock lock;
+    alignas(64) static std::uint64_t counter;
+    counter = 0;
+    for (unsigned t = 0; t < 4; ++t) {
+        scheduler.spawn([&](sim::ThreadContext& ctx) {
+            for (int i = 0; i < 150; ++i) {
+                lock.execute(runtime, ctx, [&](Tx& tx) {
+                    tx.store(&counter, tx.load(&counter) + 1);
+                    tx.work(30);
+                });
+            }
+        });
+    }
+    scheduler.run();
+    EXPECT_EQ(counter, 600u);
+    const TxStats stats = runtime.stats();
+    EXPECT_EQ(stats.totalCommits(), 600u);
+}
+
+TEST(Hle, DisjointSectionsRunWithoutSerialization)
+{
+    RuntimeConfig config(MachineConfig::intelCore());
+    config.machine.prefetchConflictProb = 0.0;
+    sim::Scheduler scheduler;
+    Runtime runtime(config, 4);
+    HleLock lock;
+    struct alignas(256) Slot
+    {
+        std::uint64_t value;
+    };
+    static Slot slots[4];
+    for (auto& slot : slots)
+        slot.value = 0;
+    for (unsigned t = 0; t < 4; ++t) {
+        scheduler.spawn([&, t](sim::ThreadContext& ctx) {
+            for (int i = 0; i < 100; ++i) {
+                lock.execute(runtime, ctx, [&](Tx& tx) {
+                    tx.store(&slots[t].value,
+                             tx.load(&slots[t].value) + 1);
+                });
+            }
+        });
+    }
+    scheduler.run();
+    for (const auto& slot : slots)
+        EXPECT_EQ(slot.value, 100u);
+    // Elision should succeed essentially always on disjoint data.
+    EXPECT_EQ(runtime.stats().irrevocableCommits, 0u);
+}
+
+TEST(Hle, UnsupportedOutsideIntel)
+{
+    RuntimeConfig config(MachineConfig::power8());
+    sim::Scheduler scheduler;
+    Runtime runtime(config, 1);
+    HleLock lock;
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        EXPECT_THROW(lock.execute(runtime, ctx, [](Tx&) {}),
+                     std::logic_error);
+    });
+    scheduler.run();
+}
+
+class TlsVariants : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(TlsVariants, ReproducesSequentialResult)
+{
+    const bool use_suspend = GetParam();
+    TlsParams params = TlsParams::sphinxLike();
+    params.iterations = 120;
+    TlsKernel kernel(params);
+    RuntimeConfig config(MachineConfig::power8());
+    const TlsResult result = kernel.runTls(config, 4, use_suspend, 1);
+    EXPECT_TRUE(result.valid)
+        << "ordered TLS must match the sequential result exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, TlsVariants,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "WithSuspendResume"
+                                               : "WithoutSuspendResume";
+                         });
+
+TEST(Tls, SuspendResumeSlashesAbortRatio)
+{
+    TlsParams params = TlsParams::sphinxLike();
+    params.iterations = 240;
+    RuntimeConfig config(MachineConfig::power8());
+
+    TlsKernel kernel_a(params);
+    const TlsResult without = kernel_a.runTls(config, 4, false, 1);
+    TlsKernel kernel_b(params);
+    const TlsResult with = kernel_b.runTls(config, 4, true, 1);
+
+    ASSERT_TRUE(without.valid);
+    ASSERT_TRUE(with.valid);
+    EXPECT_GT(without.abortRatio, 0.3)
+        << "in-transaction order spinning must abort heavily";
+    EXPECT_LT(with.abortRatio, 0.1)
+        << "suspend/resume should nearly eliminate order aborts";
+    EXPECT_LT(with.cycles, without.cycles);
+}
+
+TEST(Tls, SpeedupOverSequential)
+{
+    TlsParams params = TlsParams::sphinxLike();
+    RuntimeConfig config(MachineConfig::power8());
+    TlsKernel kernel(params);
+    const sim::Cycles seq =
+        kernel.runSequential(config.machine, 1);
+    TlsKernel kernel2(params);
+    const TlsResult tls = kernel2.runTls(config, 4, true, 1);
+    ASSERT_TRUE(tls.valid);
+    EXPECT_GT(double(seq) / double(tls.cycles), 1.05)
+        << "TLS with suspend/resume should beat sequential";
+}
+
+TEST(Tls, RequiresSuspendSupportForVariantB)
+{
+    TlsParams params;
+    params.iterations = 16;
+    TlsKernel kernel(params);
+    RuntimeConfig config(MachineConfig::intelCore());
+    EXPECT_THROW(kernel.runTls(config, 2, true, 1), std::logic_error);
+    // Variant A (no suspend) works on any machine.
+    config.machine.prefetchConflictProb = 0.0;
+    const TlsResult result = kernel.runTls(config, 2, false, 1);
+    EXPECT_TRUE(result.valid);
+}
+
+} // namespace

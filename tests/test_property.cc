@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property-based sweeps: atomicity, isolation and conservation
+ * invariants must hold for every (machine, thread count, conflict
+ * policy) combination, with randomized workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "htm/context.hh"
+#include "htm/runtime.hh"
+#include "sim/sim.hh"
+#include "tmds/tm_hashtable.hh"
+#include "tmds/tm_rbtree.hh"
+
+namespace
+{
+
+using namespace htmsim;
+using namespace htmsim::htm;
+
+using Sweep = std::tuple<unsigned /*machine*/, unsigned /*threads*/,
+                         ConflictPolicy>;
+
+class HtmProperty : public ::testing::TestWithParam<Sweep>
+{
+  protected:
+    RuntimeConfig
+    config() const
+    {
+        MachineConfig machine =
+            MachineConfig::all()[std::get<0>(GetParam())];
+        RuntimeConfig result{std::move(machine)};
+        result.policy = std::get<2>(GetParam());
+        return result;
+    }
+
+    unsigned threads() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(HtmProperty, MoneyConservation)
+{
+    // Random transfers between padded accounts: the total is invariant
+    // under atomic execution, whatever the machine or policy.
+    constexpr unsigned accounts = 24;
+    constexpr std::uint64_t initial = 500;
+    static std::vector<std::uint64_t> balances;
+    balances.assign(accounts * 32, 0);
+    for (unsigned i = 0; i < accounts; ++i)
+        balances[std::size_t(i) * 32] = initial;
+
+    sim::Scheduler scheduler(17);
+    Runtime runtime(config(), threads());
+    for (unsigned t = 0; t < threads(); ++t) {
+        scheduler.spawn([&](sim::ThreadContext& ctx) {
+            for (int i = 0; i < 120; ++i) {
+                const unsigned from =
+                    unsigned(ctx.rng().nextRange(accounts));
+                const unsigned to =
+                    unsigned(ctx.rng().nextRange(accounts));
+                const std::uint64_t amount =
+                    1 + ctx.rng().nextRange(30);
+                runtime.atomic(ctx, [&](Tx& tx) {
+                    std::uint64_t* src =
+                        &balances[std::size_t(from) * 32];
+                    std::uint64_t* dst =
+                        &balances[std::size_t(to) * 32];
+                    const std::uint64_t have = tx.load(src);
+                    if (have < amount)
+                        return;
+                    tx.store(src, have - amount);
+                    tx.store(dst, tx.load(dst) + amount);
+                });
+            }
+        });
+    }
+    scheduler.run();
+
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < accounts; ++i)
+        total += balances[std::size_t(i) * 32];
+    EXPECT_EQ(total, accounts * initial);
+}
+
+TEST_P(HtmProperty, ReadYourOwnWritesAndIsolation)
+{
+    // Inside a transaction, reads observe the transaction's own
+    // stores; other threads never observe a half-applied pair.
+    static struct alignas(256) Pair
+    {
+        std::uint64_t a;
+        char pad[248 - 8];
+        std::uint64_t b;
+    } pair;
+    pair.a = 0;
+    pair.b = 0;
+
+    sim::Scheduler scheduler(23);
+    Runtime runtime(config(), threads());
+    bool tear_seen = false;
+    for (unsigned t = 0; t < threads(); ++t) {
+        scheduler.spawn([&, t](sim::ThreadContext& ctx) {
+            for (int i = 0; i < 80; ++i) {
+                if (t % 2 == 0) {
+                    runtime.atomic(ctx, [&](Tx& tx) {
+                        const std::uint64_t next =
+                            tx.load(&pair.a) + 1;
+                        tx.store(&pair.a, next);
+                        EXPECT_EQ(tx.load(&pair.a), next)
+                            << "read-your-own-writes violated";
+                        tx.work(60);
+                        tx.store(&pair.b, next);
+                    });
+                } else {
+                    runtime.atomic(ctx, [&](Tx& tx) {
+                        const std::uint64_t a = tx.load(&pair.a);
+                        tx.work(30);
+                        const std::uint64_t b = tx.load(&pair.b);
+                        if (a != b)
+                            tear_seen = true;
+                    });
+                }
+            }
+        });
+    }
+    scheduler.run();
+    EXPECT_FALSE(tear_seen) << "a reader observed a torn pair";
+    EXPECT_EQ(pair.a, pair.b);
+}
+
+TEST_P(HtmProperty, HashTableMatchesSequentialModel)
+{
+    // Apply a deterministic per-thread op stream transactionally,
+    // then replay the same ops against std::map per thread and check
+    // the final content is *a* linearization: since each thread's ops
+    // target disjoint key ranges, the result must match exactly.
+    tmds::TmHashTable<> table(64);
+    sim::Scheduler scheduler(31);
+    Runtime runtime(config(), threads());
+    std::vector<std::map<std::uint64_t, std::uint64_t>> models(
+        threads());
+
+    for (unsigned t = 0; t < threads(); ++t) {
+        scheduler.spawn([&, t](sim::ThreadContext& ctx) {
+            sim::Rng script(1000 + t);
+            for (int i = 0; i < 150; ++i) {
+                const std::uint64_t key =
+                    t * 1000 + script.nextRange(60);
+                const unsigned op = unsigned(script.nextRange(3));
+                bool did = false;
+                runtime.atomic(ctx, [&](Tx& tx) {
+                    if (op == 0)
+                        did = table.insert(tx, key, key * 7);
+                    else if (op == 1)
+                        did = table.remove(tx, key);
+                    else
+                        did = table.update(tx, key, key * 13);
+                });
+                auto& model = models[t];
+                if (op == 0 && did)
+                    model.emplace(key, key * 7);
+                else if (op == 1 && did)
+                    model.erase(key);
+                else if (op == 2 && did)
+                    model[key] = key * 13;
+            }
+        });
+    }
+    scheduler.run();
+
+    DirectContext direct;
+    std::size_t total_model = 0;
+    for (unsigned t = 0; t < threads(); ++t) {
+        for (const auto& [key, value] : models[t]) {
+            std::uint64_t found = 0;
+            ASSERT_TRUE(table.find(direct, key, &found))
+                << "key " << key << " missing";
+            EXPECT_EQ(found, value);
+        }
+        total_model += models[t].size();
+    }
+    EXPECT_EQ(table.size(direct), total_model);
+}
+
+TEST_P(HtmProperty, RbTreeInvariantsSurviveChaos)
+{
+    tmds::TmRbTree tree;
+    sim::Scheduler scheduler(41);
+    Runtime runtime(config(), threads());
+    for (unsigned t = 0; t < threads(); ++t) {
+        scheduler.spawn([&](sim::ThreadContext& ctx) {
+            for (int i = 0; i < 100; ++i) {
+                const std::uint64_t key = ctx.rng().nextRange(128);
+                const bool insert = ctx.rng().nextBool(0.6);
+                runtime.atomic(ctx, [&](Tx& tx) {
+                    if (insert)
+                        tree.insert(tx, key, key);
+                    else
+                        tree.remove(tx, key);
+                });
+            }
+        });
+    }
+    scheduler.run();
+    EXPECT_GE(tree.checkInvariants(), 0);
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<Sweep>& info)
+{
+    static const char* machines[] = {"BG", "z12", "IC", "P8"};
+    static const char* policies[] = {"AttackerWins", "AttackerLoses",
+                                     "OlderWins"};
+    return std::string(machines[std::get<0>(info.param)]) + "_t" +
+           std::to_string(std::get<1>(info.param)) + "_" +
+           policies[unsigned(std::get<2>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HtmProperty,
+    ::testing::Combine(
+        ::testing::Range(0u, 4u), ::testing::Values(2u, 4u, 8u),
+        ::testing::Values(ConflictPolicy::attackerWins,
+                          ConflictPolicy::attackerLoses,
+                          ConflictPolicy::olderWins)),
+    sweepName);
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Additional data-structure coverage: content-keyed hash policies
+ * (genome's string segments), queue/heap growth inside transactions,
+ * bitmap behaviour under HTM, and footprint characteristics that the
+ * capacity model depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "htm/context.hh"
+#include "htm/runtime.hh"
+#include "sim/sim.hh"
+#include "tmds/tm_bitmap.hh"
+#include "tmds/tm_hashtable.hh"
+#include "tmds/tm_heap.hh"
+#include "tmds/tm_queue.hh"
+#include "tmds/tm_rbtree.hh"
+
+namespace
+{
+
+using namespace htmsim;
+using namespace htmsim::htm;
+using namespace htmsim::tmds;
+
+RuntimeConfig
+quiet(MachineConfig machine)
+{
+    machine.cacheFetchAbortProb = 0.0;
+    machine.prefetchConflictProb = 0.0;
+    return RuntimeConfig(std::move(machine));
+}
+
+/** Genome-style policy: keys are pointers to 8-char strings, hashed
+ *  and compared by content THROUGH the context. */
+struct StringKey8
+{
+    template <typename Ctx>
+    static std::uint64_t
+    hash(Ctx& c, std::uint64_t key)
+    {
+        const char* chars = reinterpret_cast<const char*>(key);
+        std::uint64_t h = 1469598103934665603ULL;
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= std::uint8_t(c.load(&chars[i]));
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
+
+    template <typename Ctx>
+    static bool
+    equal(Ctx& c, std::uint64_t a, std::uint64_t b)
+    {
+        const char* sa = reinterpret_cast<const char*>(a);
+        const char* sb = reinterpret_cast<const char*>(b);
+        for (unsigned i = 0; i < 8; ++i) {
+            if (c.load(&sa[i]) != c.load(&sb[i]))
+                return false;
+        }
+        return true;
+    }
+};
+
+TEST(StringKeyedTable, DeduplicatesByContentNotPointer)
+{
+    DirectContext c;
+    TmHashTable<StringKey8> table(32);
+    // Two distinct buffers, same content: the second insert must fail.
+    char a[9] = "ACGTACGT";
+    char b[9] = "ACGTACGT";
+    char other[9] = "TTTTAAAA";
+    EXPECT_TRUE(table.insert(
+        c, reinterpret_cast<std::uint64_t>(a), 1));
+    EXPECT_FALSE(table.insert(
+        c, reinterpret_cast<std::uint64_t>(b), 2))
+        << "equal content must collide even from another pointer";
+    EXPECT_TRUE(table.insert(
+        c, reinterpret_cast<std::uint64_t>(other), 3));
+    EXPECT_EQ(table.size(c), 2u);
+
+    std::uint64_t value = 0;
+    EXPECT_TRUE(table.find(
+        c, reinterpret_cast<std::uint64_t>(b), &value));
+    EXPECT_EQ(value, 1u) << "lookup by content reaches a's entry";
+}
+
+TEST(StringKeyedTable, HashingChargesTransactionalFootprint)
+{
+    // Hashing an 8-byte key through a transaction must put the key's
+    // line(s) into the read set — the genome fidelity property.
+    RuntimeConfig config = quiet(MachineConfig::intelCore());
+    config.collectTrace = true;
+    sim::Scheduler scheduler;
+    Runtime runtime(config, 1);
+    TmHashTable<StringKey8> table(32);
+    alignas(64) static char key[9] = "GGGGCCCC";
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        runtime.atomic(ctx, [&](Tx& tx) {
+            table.insert(tx, reinterpret_cast<std::uint64_t>(key), 7);
+        });
+    });
+    scheduler.run();
+    const auto& samples = runtime.trace().samples();
+    ASSERT_EQ(samples.size(), 1u);
+    // At least: key line + bucket line + lock word.
+    EXPECT_GE(samples[0].loadLines, 3u);
+    EXPECT_GE(samples[0].storeLines, 1u);
+}
+
+TEST(QueueGrowth, GrowsInsideATransactionAtomically)
+{
+    // Fill a tiny queue beyond capacity inside one transaction; the
+    // growth (new array, copy, free) must be all-or-nothing.
+    sim::Scheduler scheduler;
+    Runtime runtime(quiet(MachineConfig::intelCore()), 1);
+    TmQueue queue(4);
+    DirectContext direct;
+    queue.push(direct, 1);
+    queue.push(direct, 2);
+    queue.push(direct, 3);
+
+    bool aborted_once = false;
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        runtime.atomic(ctx, [&](Tx& tx) {
+            for (std::uint64_t v = 4; v <= 20; ++v)
+                queue.push(tx, v);
+            if (!aborted_once && !tx.isIrrevocable()) {
+                aborted_once = true;
+                tx.abortTx(); // growth must roll back completely
+            }
+        });
+    });
+    scheduler.run();
+    EXPECT_TRUE(aborted_once);
+    // After rollback + successful retry: 3 + 17 elements, FIFO order.
+    for (std::uint64_t expected = 1; expected <= 20; ++expected) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(queue.pop(direct, &out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_TRUE(queue.empty(direct));
+}
+
+struct MaxCompare
+{
+    template <typename Ctx>
+    static int
+    compare(Ctx&, std::uint64_t a, std::uint64_t b)
+    {
+        return a < b ? -1 : (a > b ? 1 : 0);
+    }
+};
+
+TEST(HeapGrowth, GrowsUnderConcurrentInsertions)
+{
+    sim::Scheduler scheduler;
+    Runtime runtime(quiet(MachineConfig::zEC12()), 4);
+    TmHeap<MaxCompare> heap(2); // forces many growth steps
+    for (unsigned t = 0; t < 4; ++t) {
+        scheduler.spawn([&, t](sim::ThreadContext& ctx) {
+            for (std::uint64_t i = 0; i < 50; ++i) {
+                runtime.atomic(ctx, [&](Tx& tx) {
+                    heap.insert(tx, t * 1000 + i);
+                });
+            }
+        });
+    }
+    scheduler.run();
+    DirectContext direct;
+    EXPECT_EQ(heap.size(direct), 200u);
+    std::uint64_t previous = ~std::uint64_t(0);
+    std::uint64_t out = 0;
+    while (heap.popMax(direct, &out)) {
+        EXPECT_LE(out, previous);
+        previous = out;
+    }
+}
+
+TEST(BitmapUnderHtm, ConcurrentClaimingIsExclusive)
+{
+    // Threads race to claim bits; each bit must be won exactly once.
+    sim::Scheduler scheduler;
+    Runtime runtime(quiet(MachineConfig::power8()), 4);
+    TmBitmap bitmap(256);
+    std::vector<unsigned> wins(4, 0);
+    for (unsigned t = 0; t < 4; ++t) {
+        scheduler.spawn([&, t](sim::ThreadContext& ctx) {
+            for (unsigned bit = 0; bit < 256; ++bit) {
+                bool won = false;
+                runtime.atomic(ctx, [&](Tx& tx) {
+                    won = bitmap.set(tx, bit);
+                });
+                wins[t] += won ? 1 : 0;
+            }
+        });
+    }
+    scheduler.run();
+    EXPECT_EQ(bitmap.countSet(), 256u);
+    EXPECT_EQ(wins[0] + wins[1] + wins[2] + wins[3], 256u);
+}
+
+TEST(FootprintModel, TreeWalkTouchesOneLinePerNode)
+{
+    // The capacity story of vacation-original depends on tree walks
+    // touching ~depth distinct lines; with 64-byte padded nodes in
+    // the 256-byte-granular pool, that must hold on POWER8 (128 B).
+    RuntimeConfig config = quiet(MachineConfig::power8());
+    config.collectTrace = true;
+    config.ignoreCapacity = true;
+    sim::Scheduler scheduler;
+    Runtime runtime(config, 1);
+    tmds::TmRbTree tree;
+    DirectContext direct;
+    for (std::uint64_t k = 0; k < 512; ++k)
+        tree.insert(direct, k * 2654435761u % 100000, k);
+
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        runtime.atomic(ctx, [&](Tx& tx) {
+            std::uint64_t out = 0;
+            tree.find(tx, 3 * 2654435761u % 100000, &out);
+        });
+    });
+    scheduler.run();
+    const auto& samples = runtime.trace().samples();
+    ASSERT_EQ(samples.size(), 1u);
+    // Depth of a 512-node red-black tree is 9-18; each node is its
+    // own line, plus the root pointer and the lock word.
+    EXPECT_GE(samples[0].loadLines, 8u);
+    EXPECT_LE(samples[0].loadLines, 24u);
+}
+
+} // namespace
