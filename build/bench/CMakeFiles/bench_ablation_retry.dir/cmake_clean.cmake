@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_retry.dir/bench_ablation_retry.cc.o"
+  "CMakeFiles/bench_ablation_retry.dir/bench_ablation_retry.cc.o.d"
+  "bench_ablation_retry"
+  "bench_ablation_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

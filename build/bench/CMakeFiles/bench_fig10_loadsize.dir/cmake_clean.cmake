@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_loadsize.dir/bench_fig10_loadsize.cc.o"
+  "CMakeFiles/bench_fig10_loadsize.dir/bench_fig10_loadsize.cc.o.d"
+  "bench_fig10_loadsize"
+  "bench_fig10_loadsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_loadsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_storesize.dir/bench_fig11_storesize.cc.o"
+  "CMakeFiles/bench_fig11_storesize.dir/bench_fig11_storesize.cc.o.d"
+  "bench_fig11_storesize"
+  "bench_fig11_storesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_storesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_origmod.dir/bench_fig4_origmod.cc.o"
+  "CMakeFiles/bench_fig4_origmod.dir/bench_fig4_origmod.cc.o.d"
+  "bench_fig4_origmod"
+  "bench_fig4_origmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_origmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

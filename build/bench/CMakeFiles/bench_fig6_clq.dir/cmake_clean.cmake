@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_clq.dir/bench_fig6_clq.cc.o"
+  "CMakeFiles/bench_fig6_clq.dir/bench_fig6_clq.cc.o.d"
+  "bench_fig6_clq"
+  "bench_fig6_clq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_clq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

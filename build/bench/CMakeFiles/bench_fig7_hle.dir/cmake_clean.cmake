@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hle.dir/bench_fig7_hle.cc.o"
+  "CMakeFiles/bench_fig7_hle.dir/bench_fig7_hle.cc.o.d"
+  "bench_fig7_hle"
+  "bench_fig7_hle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tls.dir/bench_fig9_tls.cc.o"
+  "CMakeFiles/bench_fig9_tls.dir/bench_fig9_tls.cc.o.d"
+  "bench_fig9_tls"
+  "bench_fig9_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_capacity.dir/bench_micro_capacity.cc.o"
+  "CMakeFiles/bench_micro_capacity.dir/bench_micro_capacity.cc.o.d"
+  "bench_micro_capacity"
+  "bench_micro_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_modes.dir/queue_modes.cpp.o"
+  "CMakeFiles/queue_modes.dir/queue_modes.cpp.o.d"
+  "queue_modes"
+  "queue_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

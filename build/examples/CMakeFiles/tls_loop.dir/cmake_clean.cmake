@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_loop.dir/tls_loop.cpp.o"
+  "CMakeFiles/tls_loop.dir/tls_loop.cpp.o.d"
+  "tls_loop"
+  "tls_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmsim_clq.dir/concurrent_queue.cc.o"
+  "CMakeFiles/htmsim_clq.dir/concurrent_queue.cc.o.d"
+  "libhtmsim_clq.a"
+  "libhtmsim_clq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmsim_clq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtmsim_clq.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/machine.cc" "src/htm/CMakeFiles/htmsim_htm.dir/machine.cc.o" "gcc" "src/htm/CMakeFiles/htmsim_htm.dir/machine.cc.o.d"
+  "/root/repo/src/htm/runtime.cc" "src/htm/CMakeFiles/htmsim_htm.dir/runtime.cc.o" "gcc" "src/htm/CMakeFiles/htmsim_htm.dir/runtime.cc.o.d"
+  "/root/repo/src/htm/stats.cc" "src/htm/CMakeFiles/htmsim_htm.dir/stats.cc.o" "gcc" "src/htm/CMakeFiles/htmsim_htm.dir/stats.cc.o.d"
+  "/root/repo/src/htm/tx.cc" "src/htm/CMakeFiles/htmsim_htm.dir/tx.cc.o" "gcc" "src/htm/CMakeFiles/htmsim_htm.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/htmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmsim_htm.dir/machine.cc.o"
+  "CMakeFiles/htmsim_htm.dir/machine.cc.o.d"
+  "CMakeFiles/htmsim_htm.dir/runtime.cc.o"
+  "CMakeFiles/htmsim_htm.dir/runtime.cc.o.d"
+  "CMakeFiles/htmsim_htm.dir/stats.cc.o"
+  "CMakeFiles/htmsim_htm.dir/stats.cc.o.d"
+  "CMakeFiles/htmsim_htm.dir/tx.cc.o"
+  "CMakeFiles/htmsim_htm.dir/tx.cc.o.d"
+  "libhtmsim_htm.a"
+  "libhtmsim_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmsim_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmsim_sim.dir/fiber.cc.o"
+  "CMakeFiles/htmsim_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/htmsim_sim.dir/scheduler.cc.o"
+  "CMakeFiles/htmsim_sim.dir/scheduler.cc.o.d"
+  "libhtmsim_sim.a"
+  "libhtmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stamp/bayes/bayes.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/bayes/bayes.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/bayes/bayes.cc.o.d"
+  "/root/repo/src/stamp/genome/genome.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/genome/genome.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/genome/genome.cc.o.d"
+  "/root/repo/src/stamp/kmeans/kmeans.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/kmeans/kmeans.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/kmeans/kmeans.cc.o.d"
+  "/root/repo/src/stamp/labyrinth/labyrinth.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/labyrinth/labyrinth.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/labyrinth/labyrinth.cc.o.d"
+  "/root/repo/src/stamp/ssca2/ssca2.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/ssca2/ssca2.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/ssca2/ssca2.cc.o.d"
+  "/root/repo/src/stamp/vacation/vacation.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/vacation/vacation.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/vacation/vacation.cc.o.d"
+  "/root/repo/src/stamp/yada/yada.cc" "src/stamp/CMakeFiles/htmsim_stamp.dir/yada/yada.cc.o" "gcc" "src/stamp/CMakeFiles/htmsim_stamp.dir/yada/yada.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/htmsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmsim_stamp.dir/bayes/bayes.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/bayes/bayes.cc.o.d"
+  "CMakeFiles/htmsim_stamp.dir/genome/genome.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/genome/genome.cc.o.d"
+  "CMakeFiles/htmsim_stamp.dir/kmeans/kmeans.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/kmeans/kmeans.cc.o.d"
+  "CMakeFiles/htmsim_stamp.dir/labyrinth/labyrinth.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/labyrinth/labyrinth.cc.o.d"
+  "CMakeFiles/htmsim_stamp.dir/ssca2/ssca2.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/ssca2/ssca2.cc.o.d"
+  "CMakeFiles/htmsim_stamp.dir/vacation/vacation.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/vacation/vacation.cc.o.d"
+  "CMakeFiles/htmsim_stamp.dir/yada/yada.cc.o"
+  "CMakeFiles/htmsim_stamp.dir/yada/yada.cc.o.d"
+  "libhtmsim_stamp.a"
+  "libhtmsim_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmsim_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

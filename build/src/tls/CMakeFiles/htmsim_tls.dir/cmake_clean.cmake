@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmsim_tls.dir/tls.cc.o"
+  "CMakeFiles/htmsim_tls.dir/tls.cc.o.d"
+  "libhtmsim_tls.a"
+  "libhtmsim_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmsim_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_features.cc" "tests/CMakeFiles/htmsim_tests.dir/test_features.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_features.cc.o.d"
+  "/root/repo/tests/test_htm_core.cc" "tests/CMakeFiles/htmsim_tests.dir/test_htm_core.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_htm_core.cc.o.d"
+  "/root/repo/tests/test_model_details.cc" "tests/CMakeFiles/htmsim_tests.dir/test_model_details.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_model_details.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/htmsim_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/htmsim_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stamp_apps.cc" "tests/CMakeFiles/htmsim_tests.dir/test_stamp_apps.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_stamp_apps.cc.o.d"
+  "/root/repo/tests/test_stamp_units.cc" "tests/CMakeFiles/htmsim_tests.dir/test_stamp_units.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_stamp_units.cc.o.d"
+  "/root/repo/tests/test_tmds.cc" "tests/CMakeFiles/htmsim_tests.dir/test_tmds.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_tmds.cc.o.d"
+  "/root/repo/tests/test_tmds_extra.cc" "tests/CMakeFiles/htmsim_tests.dir/test_tmds_extra.cc.o" "gcc" "tests/CMakeFiles/htmsim_tests.dir/test_tmds_extra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/htmsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stamp/CMakeFiles/htmsim_stamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/clq/CMakeFiles/htmsim_clq.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/htmsim_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

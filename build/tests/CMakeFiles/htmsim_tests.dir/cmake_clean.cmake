@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmsim_tests.dir/test_features.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_features.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_htm_core.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_htm_core.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_model_details.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_model_details.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_property.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_property.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_sim.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_stamp_apps.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_stamp_apps.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_stamp_units.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_stamp_units.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_tmds.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_tmds.cc.o.d"
+  "CMakeFiles/htmsim_tests.dir/test_tmds_extra.cc.o"
+  "CMakeFiles/htmsim_tests.dir/test_tmds_extra.cc.o.d"
+  "htmsim_tests"
+  "htmsim_tests.pdb"
+  "htmsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
