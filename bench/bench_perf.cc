@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Host-time benchmark harness: the perf trajectory of the simulator
+ * itself.
+ *
+ * Runs the paper's STAMP x machine grid (the Figure 2 cells, full
+ * retry-count tuning) and measures what the other benches do not:
+ * host wall-clock per cell and simulated-commit throughput (committed
+ * transactions per host second). Emits machine-readable
+ * BENCH_perf.json so successive PRs can compare.
+ *
+ * Each tuning candidate runs in a forked child process. This isolates
+ * the host heap: simulated timings depend on allocation layout (line
+ * numbers are derived from real addresses), and forking gives every
+ * run the same parent image regardless of which runs came before it.
+ * The per-candidate simulated metrics in the JSON are therefore
+ * directly comparable across builds — a hot-path refactor that claims
+ * bit-identical model behavior must reproduce them exactly (run under
+ * `setarch -R` to also pin ASLR).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "suite.hh"
+
+namespace
+{
+
+using namespace htmsim;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedNs(Clock::time_point start, Clock::time_point finish)
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(finish -
+                                                             start)
+            .count());
+}
+
+/** One tuning candidate's outcome: host cost + simulated metrics.
+ *  Trivially copyable: sent raw over the child->parent pipe. */
+struct CandidateResult
+{
+    std::uint64_t hostNs = 0;   ///< seq + tm run, host wall-clock
+    std::uint64_t hostTmNs = 0; ///< tm share (by simulated cycles)
+    std::uint64_t seqCycles = 0;
+    std::uint64_t tmCycles = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::array<std::uint64_t, 8> causes{};
+    double ratio = 0.0;
+};
+
+/** Run one tuning candidate (sequential baseline + tm run). */
+CandidateResult
+runCandidate(const std::string& bench,
+             const htm::MachineConfig& machine,
+             const htm::RuntimeConfig& config, unsigned threads,
+             std::uint64_t seed)
+{
+    bench::SuiteRunner runner(false);
+    CandidateResult candidate;
+    const auto start = Clock::now();
+    const stamp::Speedup speedup =
+        runner.run(bench, config, machine, threads, true, seed);
+    const auto finish = Clock::now();
+    candidate.hostNs = elapsedNs(start, finish);
+    // The sequential baseline is identical across candidates and
+    // cheap; attribute host time to the tm run proportionally to
+    // simulated cycles instead of timing the phases separately.
+    const double total_cycles =
+        double(speedup.seq.cycles) + double(speedup.tm.cycles);
+    const double tm_share = total_cycles == 0.0
+                                ? 0.0
+                                : double(speedup.tm.cycles) /
+                                      total_cycles;
+    candidate.hostTmNs =
+        std::uint64_t(double(candidate.hostNs) * tm_share);
+    candidate.seqCycles = speedup.seq.cycles;
+    candidate.tmCycles = speedup.tm.cycles;
+    candidate.commits = speedup.tm.stats.totalCommits();
+    candidate.aborts = speedup.tm.stats.totalAborts();
+    candidate.causes = speedup.tm.stats.trueCauseAborts;
+    candidate.ratio = speedup.ratio;
+    return candidate;
+}
+
+/** Fork, run one candidate in the child, receive the raw result. */
+bool
+runCandidateForked(const std::string& bench,
+                   const htm::MachineConfig& machine,
+                   const htm::RuntimeConfig& config, unsigned threads,
+                   std::uint64_t seed, CandidateResult& result)
+{
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        std::perror("pipe");
+        return false;
+    }
+    const pid_t child = ::fork();
+    if (child < 0) {
+        std::perror("fork");
+        return false;
+    }
+    if (child == 0) {
+        ::close(fds[0]);
+        const CandidateResult candidate =
+            runCandidate(bench, machine, config, threads, seed);
+        const char* cursor =
+            reinterpret_cast<const char*>(&candidate);
+        std::size_t remaining = sizeof(candidate);
+        while (remaining > 0) {
+            const ssize_t written = ::write(fds[1], cursor, remaining);
+            if (written <= 0)
+                ::_exit(2);
+            cursor += written;
+            remaining -= std::size_t(written);
+        }
+        ::_exit(0);
+    }
+    ::close(fds[1]);
+    char* cursor = reinterpret_cast<char*>(&result);
+    std::size_t remaining = sizeof(result);
+    bool ok = true;
+    while (remaining > 0) {
+        const ssize_t got = ::read(fds[0], cursor, remaining);
+        if (got <= 0) {
+            ok = false;
+            break;
+        }
+        cursor += got;
+        remaining -= std::size_t(got);
+    }
+    ::close(fds[0]);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    return ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+struct CellResult
+{
+    std::string bench;
+    std::string machine;
+    std::vector<CandidateResult> candidates;
+
+    std::uint64_t
+    hostNs() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto& candidate : candidates)
+            sum += candidate.hostNs;
+        return sum;
+    }
+
+    std::uint64_t
+    hostTmNs() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto& candidate : candidates)
+            sum += candidate.hostTmNs;
+        return sum;
+    }
+
+    std::uint64_t
+    committedTx() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto& candidate : candidates)
+            sum += candidate.commits;
+        return sum;
+    }
+
+    /** Committed transactions per host second of transactional runs. */
+    double
+    txPerSec() const
+    {
+        const std::uint64_t ns = hostTmNs();
+        return ns == 0 ? 0.0
+                       : double(committedTx()) * 1e9 / double(ns);
+    }
+
+    /** Best speed-up over the tuning grid (the paper's reporting). */
+    double
+    bestRatio() const
+    {
+        double best = 0.0;
+        bool first = true;
+        for (const auto& candidate : candidates) {
+            if (first || candidate.ratio > best) {
+                best = candidate.ratio;
+                first = false;
+            }
+        }
+        return best;
+    }
+};
+
+void
+writeCellJson(std::FILE* out, const CellResult& cell)
+{
+    std::fprintf(out,
+                 "    {\"bench\": \"%s\", \"machine\": \"%s\",\n"
+                 "     \"host_ns\": %llu, \"host_tm_ns\": %llu,\n"
+                 "     \"committed_tx\": %llu, \"tx_per_sec\": %.1f,\n"
+                 "     \"best_speedup\": %.4f,\n"
+                 "     \"candidates\": [\n",
+                 cell.bench.c_str(), cell.machine.c_str(),
+                 (unsigned long long)cell.hostNs(),
+                 (unsigned long long)cell.hostTmNs(),
+                 (unsigned long long)cell.committedTx(),
+                 cell.txPerSec(), cell.bestRatio());
+    for (std::size_t i = 0; i < cell.candidates.size(); ++i) {
+        const CandidateResult& candidate = cell.candidates[i];
+        std::fprintf(out,
+                     "      {\"seq_cycles\": %llu, \"tm_cycles\": %llu, "
+                     "\"commits\": %llu, \"aborts\": %llu, "
+                     "\"causes\": [",
+                     (unsigned long long)candidate.seqCycles,
+                     (unsigned long long)candidate.tmCycles,
+                     (unsigned long long)candidate.commits,
+                     (unsigned long long)candidate.aborts);
+        for (std::size_t c = 0; c < candidate.causes.size(); ++c) {
+            std::fprintf(out, "%s%llu", c == 0 ? "" : ", ",
+                         (unsigned long long)candidate.causes[c]);
+        }
+        std::fprintf(out, "]}%s\n",
+                     i + 1 < cell.candidates.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* output_path = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "usage: %s [-o output.json]\n", argv[0]);
+                return 2;
+            }
+            output_path = argv[++i];
+        } else {
+            output_path = argv[i];
+        }
+    }
+    const unsigned threads = 4;
+    const std::uint64_t seed = 1;
+    const bool use_fork = std::getenv("HTMSIM_PERF_NOFORK") == nullptr;
+
+    std::vector<CellResult> cells;
+    const auto suite_start = Clock::now();
+    for (const htm::MachineConfig& machine :
+         htm::MachineConfig::all()) {
+        for (const std::string& bench : bench::suiteNames()) {
+            CellResult cell;
+            cell.bench = bench;
+            cell.machine = machine.name;
+            for (const htm::RuntimeConfig& config :
+                 bench::SuiteRunner::tuningCandidates(machine)) {
+                CandidateResult candidate;
+                if (use_fork) {
+                    if (!runCandidateForked(bench, machine, config,
+                                            threads, seed,
+                                            candidate)) {
+                        std::fprintf(stderr,
+                                     "cell %s/%s failed in child\n",
+                                     bench.c_str(),
+                                     machine.name.c_str());
+                        return 1;
+                    }
+                } else {
+                    candidate = runCandidate(bench, machine, config,
+                                             threads, seed);
+                }
+                cell.candidates.push_back(candidate);
+            }
+            std::printf("%-14s %-22s %8.1f ms  %10.0f tx/s  "
+                        "speedup %.2f\n",
+                        cell.bench.c_str(), cell.machine.c_str(),
+                        double(cell.hostNs()) / 1e6, cell.txPerSec(),
+                        cell.bestRatio());
+            std::fflush(stdout);
+            cells.push_back(std::move(cell));
+        }
+    }
+    const auto suite_finish = Clock::now();
+
+    // Geomean of per-cell host times: the suite-level trajectory
+    // metric (robust to one cell dominating).
+    double log_sum = 0.0;
+    std::uint64_t total_ns = 0;
+    for (const CellResult& cell : cells) {
+        log_sum += std::log(double(cell.hostNs()));
+        total_ns += cell.hostNs();
+    }
+    const double geomean_ns =
+        cells.empty() ? 0.0 : std::exp(log_sum / double(cells.size()));
+
+    std::FILE* out = std::fopen(output_path, "w");
+    if (out == nullptr) {
+        std::perror(output_path);
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"schema\": \"htmsim-bench-perf-v1\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"total_host_ns\": %llu,\n"
+                 "  \"wall_host_ns\": %llu,\n"
+                 "  \"geomean_cell_host_ns\": %.0f,\n"
+                 "  \"cells\": [\n",
+                 threads, (unsigned long long)seed,
+                 bench::workloadScale(),
+                 (unsigned long long)total_ns,
+                 (unsigned long long)elapsedNs(suite_start,
+                                               suite_finish),
+                 geomean_ns);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        writeCellJson(out, cells[i]);
+        std::fprintf(out, "%s\n", i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+
+    std::printf("\ntotal %.1f ms (geomean cell %.1f ms) -> %s\n",
+                double(total_ns) / 1e6, geomean_ns / 1e6, output_path);
+    return 0;
+}

@@ -7,6 +7,14 @@
  * transaction carries a writer id and a reader set. Because simulated
  * threads are cooperatively scheduled, no host synchronization is
  * needed; accesses happen in virtual-time order.
+ *
+ * Backed by FlatTable (open addressing, contiguous slots): the
+ * directory is probed on every transactional access, making it the
+ * hottest shared structure in the simulator. Entries are never
+ * erased — clearing a reader/writer mark just empties the Line, and
+ * the slot is reused the next time any transaction touches that line.
+ * This trades a bounded footprint (distinct lines ever touched) for
+ * erase-free probing.
  */
 
 #ifndef HTMSIM_HTM_CONFLICT_TABLE_HH
@@ -14,7 +22,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
+
+#include "flat_table.hh"
 
 namespace htmsim::htm
 {
@@ -55,47 +64,52 @@ class ConflictTable
     std::size_t granularityBytes() const { return std::size_t(1) << shift_; }
 
     /** Find-or-create the tracking state for a line. */
-    Line& line(std::uintptr_t line_number) { return lines_[line_number]; }
+    Line& line(std::uintptr_t line_number)
+    {
+        return lines_.insertOrFind(line_number);
+    }
 
-    /** Find the tracking state for a line, or nullptr. */
+    /** Find the tracking state for a line, or nullptr. The returned
+     *  Line may be empty (marks already cleared; slots persist). */
     Line*
     find(std::uintptr_t line_number)
     {
-        auto it = lines_.find(line_number);
-        return it == lines_.end() ? nullptr : &it->second;
+        return lines_.find(line_number);
     }
 
-    /** Drop a thread's reader mark from a line, erasing empty lines. */
+    /** Drop a thread's reader mark from a line. */
     void
     clearReader(std::uintptr_t line_number, unsigned tid)
     {
-        auto it = lines_.find(line_number);
-        if (it == lines_.end())
-            return;
-        it->second.readers &= ~(std::uint64_t(1) << tid);
-        if (it->second.empty())
-            lines_.erase(it);
+        Line* line = lines_.find(line_number);
+        if (line != nullptr)
+            line->readers &= ~(std::uint64_t(1) << tid);
     }
 
     /** Drop a thread's writer mark (if it still owns the line). */
     void
     clearWriter(std::uintptr_t line_number, unsigned tid)
     {
-        auto it = lines_.find(line_number);
-        if (it == lines_.end())
-            return;
-        if (it->second.writer == int(tid))
-            it->second.writer = -1;
-        if (it->second.empty())
-            lines_.erase(it);
+        Line* line = lines_.find(line_number);
+        if (line != nullptr && line->writer == int(tid))
+            line->writer = -1;
     }
 
-    /** Number of tracked lines (for tests and diagnostics). */
-    std::size_t trackedLines() const { return lines_.size(); }
+    /** Number of lines with live marks (for tests and diagnostics). */
+    std::size_t
+    trackedLines() const
+    {
+        std::size_t count = 0;
+        lines_.forEach([&count](std::uintptr_t, const Line& line) {
+            if (!line.empty())
+                ++count;
+        });
+        return count;
+    }
 
   private:
     unsigned shift_;
-    std::unordered_map<std::uintptr_t, Line> lines_;
+    FlatTable<Line, 64> lines_;
 };
 
 } // namespace htmsim::htm

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Open-addressing hash table specialized for the transactional hot
+ * path.
+ *
+ * Every simulated transactional load/store probes several access-set
+ * tables (write buffer, conflict lines, capacity lines, store sets),
+ * and every abort clears them all. std::unordered_map makes both
+ * operations expensive: node allocation per insert, a pointer chase
+ * per probe, and a full bucket walk (plus eventual rehash) per clear.
+ * FlatTable replaces it with:
+ *
+ *  - power-of-two capacity and linear probing over a contiguous slot
+ *    array (one cache line per probe in the common case);
+ *  - small inline storage (InlineSlots slots) so short transactions
+ *    never touch the heap;
+ *  - generation-stamped slots: clear() bumps a 32-bit epoch instead of
+ *    touching memory, so resetting between transaction attempts is
+ *    O(1) and never frees or rehashes.
+ *
+ * Keys are uintptr_t (line numbers / addresses); the all-ones key is
+ * reserved as "never used" and must not be inserted (real line numbers
+ * are addresses shifted right, so they cannot reach it). Values must
+ * be default-constructible and are value-initialized on first insert
+ * of a key within the current epoch.
+ *
+ * Not a general-purpose map: no erase (the transactional tables only
+ * accumulate within an attempt), no iterators (use forEach), and the
+ * table is move- and copy-less by design. Determinism note: probe and
+ * forEach order depend only on the inserted keys, never on host
+ * allocation state, which keeps simulated results independent of the
+ * table implementation.
+ */
+
+#ifndef HTMSIM_HTM_FLAT_TABLE_HH
+#define HTMSIM_HTM_FLAT_TABLE_HH
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace htmsim::htm
+{
+
+template <typename Value, std::size_t InlineSlots = 16>
+class FlatTable
+{
+    static_assert(InlineSlots >= 4 &&
+                      (InlineSlots & (InlineSlots - 1)) == 0,
+                  "inline capacity must be a power of two");
+
+  public:
+    using Key = std::uintptr_t;
+
+    FlatTable() { slots_ = inline_.data(); }
+
+    ~FlatTable()
+    {
+        if (slots_ != inline_.data())
+            delete[] slots_;
+    }
+
+    FlatTable(const FlatTable&) = delete;
+    FlatTable& operator=(const FlatTable&) = delete;
+
+    /** Live entries in the current epoch. */
+    std::size_t size() const { return size_; }
+
+    /** Current slot-array capacity (diagnostics and tests). */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** True if the table has spilled out of its inline storage. */
+    bool spilled() const { return slots_ != inline_.data(); }
+
+    /**
+     * O(1) logical clear: live entries are those stamped with the
+     * current epoch, so bumping the epoch empties the table without
+     * freeing or touching slot memory. On 32-bit epoch wrap-around
+     * (once per ~4G clears) the stamps are scrubbed in one pass.
+     */
+    void
+    clear()
+    {
+        size_ = 0;
+        if (++epoch_ == 0) {
+            const std::size_t slots = mask_ + 1;
+            for (std::size_t i = 0; i < slots; ++i)
+                slots_[i].epoch = 0;
+            epoch_ = 1;
+        }
+    }
+
+    /**
+     * Find the value for @p key, inserting a value-initialized entry
+     * if absent. @p inserted (when non-null) reports whether a new
+     * entry was created — the caller typically appends the key to its
+     * access log in that case. The reference stays valid until the
+     * next insertOrFind or clear.
+     */
+    Value&
+    insertOrFind(Key key, bool* inserted = nullptr)
+    {
+        assert(key != unusedKey && "all-ones key is reserved");
+        if ((size_ + 1) * 4 > (mask_ + 1) * 3)
+            grow();
+        std::size_t index = indexOf(key);
+        for (;;) {
+            Slot& slot = slots_[index];
+            if (slot.epoch != epoch_) {
+                slot.key = key;
+                slot.epoch = epoch_;
+                slot.value = Value{};
+                ++size_;
+                if (inserted != nullptr)
+                    *inserted = true;
+                return slot.value;
+            }
+            if (slot.key == key) {
+                if (inserted != nullptr)
+                    *inserted = false;
+                return slot.value;
+            }
+            index = (index + 1) & mask_;
+        }
+    }
+
+    /** Find the value for @p key, or nullptr. */
+    Value*
+    find(Key key)
+    {
+        std::size_t index = indexOf(key);
+        for (;;) {
+            Slot& slot = slots_[index];
+            if (slot.epoch != epoch_)
+                return nullptr;
+            if (slot.key == key)
+                return &slot.value;
+            index = (index + 1) & mask_;
+        }
+    }
+
+    const Value*
+    find(Key key) const
+    {
+        return const_cast<FlatTable*>(this)->find(key);
+    }
+
+    /** Visit every live (key, value) pair; order is hash order. */
+    template <typename F>
+    void
+    forEach(F&& visit) const
+    {
+        const std::size_t slots = mask_ + 1;
+        for (std::size_t i = 0; i < slots; ++i) {
+            const Slot& slot = slots_[i];
+            if (slot.epoch == epoch_)
+                visit(slot.key, slot.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Key key = 0;
+        std::uint32_t epoch = 0;
+        Value value{};
+    };
+
+    static constexpr Key unusedKey = ~Key(0);
+
+    std::size_t
+    indexOf(Key key) const
+    {
+        // Fibonacci hashing: spreads the near-sequential line numbers
+        // of streaming accesses across the table.
+        return std::size_t((std::uint64_t(key) *
+                            0x9E3779B97F4A7C15ull) >>
+                           shift_) &
+               mask_;
+    }
+
+    void
+    grow()
+    {
+        const std::size_t old_slots = mask_ + 1;
+        const std::size_t new_slots = old_slots * 2;
+        Slot* old_array = slots_;
+        Slot* new_array = new Slot[new_slots]();
+        mask_ = new_slots - 1;
+        shift_ -= 1;
+        slots_ = new_array;
+        // Only live entries migrate; stale epochs die with the old
+        // array. The epoch keeps counting so clear() stays O(1).
+        for (std::size_t i = 0; i < old_slots; ++i) {
+            const Slot& slot = old_array[i];
+            if (slot.epoch != epoch_)
+                continue;
+            std::size_t index = indexOf(slot.key);
+            while (slots_[index].epoch == epoch_)
+                index = (index + 1) & mask_;
+            slots_[index].key = slot.key;
+            slots_[index].epoch = epoch_;
+            slots_[index].value = slot.value;
+        }
+        if (old_array != inline_.data())
+            delete[] old_array;
+    }
+
+    static constexpr unsigned inlineShift()
+    {
+        unsigned log2 = 0;
+        for (std::size_t n = InlineSlots; n > 1; n >>= 1)
+            ++log2;
+        return 64 - log2;
+    }
+
+    Slot* slots_ = nullptr;
+    std::size_t mask_ = InlineSlots - 1;
+    unsigned shift_ = inlineShift();
+    std::size_t size_ = 0;
+    std::uint32_t epoch_ = 1;
+    std::array<Slot, InlineSlots> inline_{};
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_FLAT_TABLE_HH

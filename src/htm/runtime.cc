@@ -177,12 +177,16 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     }
 
     // Commit point: no scheduling points below, so write-back and
-    // directory cleanup are atomic in virtual time.
-    for (const auto& [addr, entry] : tx.writeBuffer_) {
-        std::memcpy(reinterpret_cast<void*>(addr), &entry.value,
-                    entry.size);
+    // directory cleanup are atomic in virtual time. Both walks follow
+    // the append-only logs: O(touched words/lines), not table size.
+    for (const std::uintptr_t addr : tx.writeLog_) {
+        const Tx::WriteEntry* entry = tx.writeBuffer_.find(addr);
+        std::memcpy(reinterpret_cast<void*>(addr), &entry->value,
+                    entry->size);
     }
-    for (const auto& [line_number, flags] : tx.conflictLines_) {
+    for (const std::uintptr_t line_number : tx.conflictLog_) {
+        const std::uint8_t flags =
+            *tx.conflictLines_.find(line_number);
         if (flags & Tx::lineRead)
             table_->clearReader(line_number, tx.tid_);
         if (flags & Tx::lineWritten)
@@ -208,7 +212,9 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 void
 Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
 {
-    for (const auto& [line_number, flags] : tx.conflictLines_) {
+    for (const std::uintptr_t line_number : tx.conflictLog_) {
+        const std::uint8_t flags =
+            *tx.conflictLines_.find(line_number);
         if (flags & Tx::lineRead)
             table_->clearReader(line_number, tx.tid_);
         if (flags & Tx::lineWritten)
@@ -473,9 +479,10 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
 
         ctx.advance(config_.machine.txEndCost);
         ctx.sync();
-        for (const auto& [addr, entry] : tx.writeBuffer_) {
-            std::memcpy(reinterpret_cast<void*>(addr), &entry.value,
-                        entry.size);
+        for (const std::uintptr_t addr : tx.writeLog_) {
+            const Tx::WriteEntry* entry = tx.writeBuffer_.find(addr);
+            std::memcpy(reinterpret_cast<void*>(addr), &entry->value,
+                        entry->size);
         }
         for (const auto& record : tx.deferredFrees_)
             NodePool::instance().free(record.ptr, record.bytes);

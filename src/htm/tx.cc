@@ -60,9 +60,8 @@ Tx::loadWord(const void* addr, std::size_t size)
         ctx_->advance(machine.nonTxLoadCost);
         ctx_->sync();
         runtime_->nonTxConflict(tid_, uaddr, false);
-        auto it = writeBuffer_.find(uaddr);
-        if (it != writeBuffer_.end())
-            return it->second.value;
+        if (const WriteEntry* entry = writeBuffer_.find(uaddr))
+            return entry->value;
         return readMemory(addr, size);
     }
 
@@ -70,9 +69,8 @@ Tx::loadWord(const void* addr, std::size_t size)
         // ROT loads are untracked: no conflict detection at all.
         ctx_->advance(machine.txLoadCost);
         ctx_->sync();
-        auto it = writeBuffer_.find(uaddr);
-        if (it != writeBuffer_.end())
-            return it->second.value;
+        if (const WriteEntry* entry = writeBuffer_.find(uaddr))
+            return entry->value;
         return readMemory(addr, size);
     }
 
@@ -96,16 +94,34 @@ Tx::loadWord(const void* addr, std::size_t size)
         selfAbort(AbortCause::cacheFetch);
     }
 
-    auto buffered = writeBuffer_.find(uaddr);
-    if (buffered != writeBuffer_.end()) {
-        assert(buffered->second.size == size);
-        return buffered->second.value;
+    if (const WriteEntry* buffered = writeBuffer_.find(uaddr)) {
+        assert(buffered->size == size);
+        return buffered->value;
+    }
+
+    // Last-line memo: consecutive loads of a line whose read
+    // bookkeeping is already complete (the sequential-scan pattern of
+    // genome/ssca2/labyrinth) skip the conflict and capacity probes
+    // entirely. The skipped calls would early-return anyway, so the
+    // model — including the RNG draw order of the prefetcher — is
+    // unchanged.
+    const std::uintptr_t conflict_line =
+        uaddr >> runtime_->conflictShift_;
+    const std::uintptr_t capacity_line =
+        uaddr >> runtime_->capacityShift_;
+    if (conflict_line == memoReadConflictLine_ &&
+        capacity_line == memoReadCapacityLine_) {
+        maybePrefetch(uaddr);
+        checkConstraintFootprint();
+        return readMemory(addr, size);
     }
 
     touchConflictLine(uaddr, false);
     maybePrefetch(uaddr);
     touchCapacityLine(uaddr, false);
     checkConstraintFootprint();
+    memoReadConflictLine_ = conflict_line;
+    memoReadCapacityLine_ = capacity_line;
     return readMemory(addr, size);
 }
 
@@ -136,7 +152,7 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
         // TMCAM entries) but raise no conflicts.
         ctx_->advance(machine.txStoreCost);
         ctx_->sync();
-        writeBuffer_[uaddr] = WriteEntry{value, std::uint8_t(size)};
+        bufferStore(uaddr, size, value);
         touchCapacityLine(uaddr, true);
         return;
     }
@@ -161,11 +177,37 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
         selfAbort(AbortCause::cacheFetch);
     }
 
+    // Same memo as loadWord, for the write flags.
+    const std::uintptr_t conflict_line =
+        uaddr >> runtime_->conflictShift_;
+    const std::uintptr_t capacity_line =
+        uaddr >> runtime_->capacityShift_;
+    if (conflict_line == memoWriteConflictLine_ &&
+        capacity_line == memoWriteCapacityLine_) {
+        maybePrefetch(uaddr);
+        checkConstraintFootprint();
+        bufferStore(uaddr, size, value);
+        return;
+    }
+
     touchConflictLine(uaddr, true);
     maybePrefetch(uaddr);
     touchCapacityLine(uaddr, true);
     checkConstraintFootprint();
-    writeBuffer_[uaddr] = WriteEntry{value, std::uint8_t(size)};
+    memoWriteConflictLine_ = conflict_line;
+    memoWriteCapacityLine_ = capacity_line;
+    bufferStore(uaddr, size, value);
+}
+
+void
+Tx::bufferStore(std::uintptr_t uaddr, std::size_t size,
+                std::uint64_t value)
+{
+    bool inserted = false;
+    WriteEntry& entry = writeBuffer_.insertOrFind(uaddr, &inserted);
+    if (inserted)
+        writeLog_.push_back(uaddr);
+    entry = WriteEntry{value, std::uint8_t(size)};
 }
 
 void
@@ -173,7 +215,11 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
 {
     ConflictTable& table = *runtime_->table_;
     const std::uintptr_t line_number = table.lineOf(addr);
-    std::uint8_t& flags = conflictLines_[line_number];
+    bool inserted = false;
+    std::uint8_t& flags =
+        conflictLines_.insertOrFind(line_number, &inserted);
+    if (inserted)
+        conflictLog_.push_back(line_number);
 
     if (is_write) {
         if (flags & lineWritten)
@@ -230,7 +276,12 @@ Tx::maybePrefetch(std::uintptr_t addr)
     if (line.writer >= 0 && line.writer != int(tid_))
         return; // owned elsewhere: the prefetch is dropped
     line.readers |= std::uint64_t(1) << tid_;
-    conflictLines_[neighbour] |= lineRead;
+    bool inserted = false;
+    std::uint8_t& flags =
+        conflictLines_.insertOrFind(neighbour, &inserted);
+    if (inserted)
+        conflictLog_.push_back(neighbour);
+    flags |= lineRead;
 }
 
 void
@@ -238,7 +289,7 @@ Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
 {
     const MachineConfig& machine = runtime_->machine();
     const std::uintptr_t line_number = addr >> runtime_->capacityShift_;
-    std::uint8_t& flags = capacityLines_[line_number];
+    std::uint8_t& flags = capacityLines_.insertOrFind(line_number);
 
     bool new_load = false;
     bool new_store = false;
@@ -289,7 +340,7 @@ Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
         // conflict evicts a transactional line and aborts.
         const unsigned set = unsigned(line_number) &
                              (machine.storeSets - 1);
-        const unsigned ways_used = ++storeSetLines_[set];
+        const unsigned ways_used = ++storeSetLines_.insertOrFind(set);
         if (ways_used > std::max(1u, machine.storeWays / sharers))
             selfAbort(AbortCause::wayConflict);
     }
@@ -319,8 +370,11 @@ Tx::allocBytes(std::size_t bytes)
     if (status_ == TxStatus::irrevocable)
         return memory;
 
+    // A doomed transaction may still allocate: like loads and stores,
+    // the doom is only acted on at the next checkDoom() below.
     assert(status_ == TxStatus::active ||
-           status_ == TxStatus::rollbackOnly);
+           status_ == TxStatus::rollbackOnly ||
+           status_ == TxStatus::doomed);
     speculativeAllocs_.push_back({memory, bytes});
 
     // Initializing stores are transactional on real HTM: charge the
@@ -380,10 +434,18 @@ Tx::resume()
 void
 Tx::resetAttemptState()
 {
+    // All tables clear by epoch bump: O(1), no frees, no rehashing —
+    // aborts on high-retry workloads cost nothing in tracking state.
     writeBuffer_.clear();
+    writeLog_.clear();
     conflictLines_.clear();
+    conflictLog_.clear();
     capacityLines_.clear();
     storeSetLines_.clear();
+    memoReadConflictLine_ = noLine;
+    memoReadCapacityLine_ = noLine;
+    memoWriteConflictLine_ = noLine;
+    memoWriteCapacityLine_ = noLine;
     loadLines_ = 0;
     storeLines_ = 0;
     opCount_ = 0;

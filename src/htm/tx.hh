@@ -20,10 +20,10 @@
 #include <cstring>
 #include <new>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
 
 #include "abort.hh"
+#include "flat_table.hh"
 #include "sim/scheduler.hh"
 
 namespace htmsim::htm
@@ -168,6 +168,11 @@ class Tx
     std::uint64_t loadWord(const void* addr, std::size_t size);
     void storeWord(void* addr, std::size_t size, std::uint64_t value);
 
+    /// Insert/overwrite a buffered speculative store, logging new
+    /// addresses for the commit-time write-back walk.
+    void bufferStore(std::uintptr_t uaddr, std::size_t size,
+                     std::uint64_t value);
+
     /// Model the Intel adjacent-line prefetcher (Section 5.1).
     void maybePrefetch(std::uintptr_t addr);
     /// Enforce the constrained-transaction footprint limit.
@@ -199,13 +204,31 @@ class Tx
     bool holdsSpecId_ = false;
     std::uint64_t startOrder_ = 0;
 
-    std::unordered_map<std::uintptr_t, WriteEntry> writeBuffer_;
+    /// Sentinel for the last-line memo: no line seen yet. Real line
+    /// numbers are addresses shifted right, so all-ones is unreachable.
+    static constexpr std::uintptr_t noLine = ~std::uintptr_t(0);
+
+    FlatTable<WriteEntry> writeBuffer_;
+    /// Buffered store addresses in first-store order: commit walks
+    /// this log (O(touched words)) instead of iterating the table.
+    std::vector<std::uintptr_t> writeLog_;
     /// Conflict-granularity lines touched: bit0 = read, bit1 = write.
-    std::unordered_map<std::uintptr_t, std::uint8_t> conflictLines_;
+    FlatTable<std::uint8_t> conflictLines_;
+    /// Touched conflict lines in first-touch order: commit/rollback
+    /// cleanup of the global directory walks this log.
+    std::vector<std::uintptr_t> conflictLog_;
     /// Capacity-granularity lines touched: bit0 = read, bit1 = write.
-    std::unordered_map<std::uintptr_t, std::uint8_t> capacityLines_;
+    FlatTable<std::uint8_t> capacityLines_;
     /// Store lines per L1 set (Intel way-conflict model).
-    std::unordered_map<unsigned, unsigned> storeSetLines_;
+    FlatTable<unsigned> storeSetLines_;
+
+    /// One-entry memo of the last (conflict, capacity) line pair whose
+    /// read/write bookkeeping is complete: consecutive accesses to the
+    /// same line (sequential scans) skip all table probes.
+    std::uintptr_t memoReadConflictLine_ = noLine;
+    std::uintptr_t memoReadCapacityLine_ = noLine;
+    std::uintptr_t memoWriteConflictLine_ = noLine;
+    std::uintptr_t memoWriteCapacityLine_ = noLine;
 
     std::uint32_t loadLines_ = 0;
     std::uint32_t storeLines_ = 0;

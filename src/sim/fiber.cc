@@ -3,6 +3,113 @@
 #include <cassert>
 #include <cstdint>
 
+#if defined(__SANITIZE_ADDRESS__)
+#define HTMSIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HTMSIM_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef HTMSIM_ASAN_FIBERS
+#define HTMSIM_ASAN_FIBERS 0
+#endif
+
+#if HTMSIM_FAST_FIBERS && HTMSIM_ASAN_FIBERS
+// ASan tracks one stack per thread; a hand-rolled switch must announce
+// departures/landings or the first abort-unwind on a fiber stack
+// corrupts its shadow bookkeeping (the ucontext backend is covered by
+// ASan's swapcontext interceptor).
+#include <sanitizer/common_interface_defs.h>
+
+namespace
+{
+/// The host thread's own stack bounds, learned at the first landing
+/// on a fiber stack; the yield path needs them to announce the
+/// switch back.
+thread_local const void* owner_stack_bottom = nullptr;
+thread_local std::size_t owner_stack_size = 0;
+} // namespace
+#endif
+
+#if HTMSIM_FAST_FIBERS
+
+extern "C" {
+/// Save callee-saved state on the current stack, park the stack pointer
+/// in *save_sp, and resume the context whose stack pointer is to_sp.
+void htmsim_context_switch(void** save_sp, void* to_sp);
+/// First-activation entry: runs on the fiber stack, built by
+/// initFastStack() so that Fiber::run() is entered at the exact stack
+/// pointer glibc makecontext would have produced (simulated results
+/// are sensitive to host frame addresses).
+void htmsim_fiber_thunk();
+}
+
+// System V x86-64: rbx, rbp, r12-r15 plus the mxcsr/x87 control words
+// are callee-saved; everything else is dead across a call, so a switch
+// only needs these 7 quadwords and no signal-mask syscall.
+__asm__(
+    ".text\n"
+    ".p2align 4\n"
+    ".globl htmsim_context_switch\n"
+    ".hidden htmsim_context_switch\n"
+    ".type htmsim_context_switch, @function\n"
+    "htmsim_context_switch:\n"
+    "    pushq %rbp\n"
+    "    pushq %rbx\n"
+    "    pushq %r12\n"
+    "    pushq %r13\n"
+    "    pushq %r14\n"
+    "    pushq %r15\n"
+    "    subq $8, %rsp\n"
+    "    stmxcsr (%rsp)\n"
+    "    fnstcw 4(%rsp)\n"
+    "    movq %rsp, (%rdi)\n"
+    "    movq %rsi, %rsp\n"
+    "    ldmxcsr (%rsp)\n"
+    "    fldcw 4(%rsp)\n"
+    "    addq $8, %rsp\n"
+    "    popq %r15\n"
+    "    popq %r14\n"
+    "    popq %r13\n"
+    "    popq %r12\n"
+    "    popq %rbx\n"
+    "    popq %rbp\n"
+    "    retq\n"
+    ".size htmsim_context_switch, .-htmsim_context_switch\n"
+    ".p2align 4\n"
+    ".globl htmsim_fiber_thunk\n"
+    ".hidden htmsim_fiber_thunk\n"
+    ".type htmsim_fiber_thunk, @function\n"
+    "htmsim_fiber_thunk:\n"
+    // initFastStack() left the Fiber* in r15 and an entry rsp such
+    // that this call enters run() at glibc makecontext's stack
+    // pointer (the ucontext backend tail-jumps trampoline -> run).
+    "    movq %r15, %rdi\n"
+    "    movq %r15, %rbx\n"
+    "    call _ZN6htmsim3sim5Fiber3runEv\n"
+    "    movq %rbx, %rdi\n"
+    "    call htmsim_fiber_finish\n"
+    "    ud2\n"
+    ".size htmsim_fiber_thunk, .-htmsim_fiber_thunk\n");
+
+extern "C" void
+htmsim_fiber_finish(htmsim::sim::Fiber* fiber)
+{
+#if HTMSIM_ASAN_FIBERS
+    // nullptr fake-stack save: the fiber departs for good, ASan may
+    // release its fake stack.
+    __sanitizer_start_switch_fiber(nullptr, owner_stack_bottom,
+                                   owner_stack_size);
+#endif
+    // Final transfer back to resume(); the fiber is finished and will
+    // never be switched to again, so the save slot is scratch.
+    void* scratch;
+    htmsim_context_switch(&scratch, fiber->fastOwnerSp());
+    __builtin_unreachable();
+}
+
+#endif // HTMSIM_FAST_FIBERS
+
 namespace htmsim::sim
 {
 
@@ -15,6 +122,9 @@ thread_local Fiber* current_fiber = nullptr;
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)), stack_(stack_bytes)
 {
+#if HTMSIM_FAST_FIBERS
+    initFastStack();
+#else
     getcontext(&context_);
     context_.uc_stack.ss_sp = stack_.data();
     context_.uc_stack.ss_size = stack_.size();
@@ -22,7 +132,42 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     auto self = reinterpret_cast<std::uintptr_t>(this);
     makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
                 unsigned(self >> 32), unsigned(self & 0xffffffffu));
+#endif
 }
+
+#if HTMSIM_FAST_FIBERS
+void
+Fiber::initFastStack()
+{
+    // Match glibc makecontext's initial stack pointer byte-for-byte:
+    // run() (and every simulated frame below it) must sit at the same
+    // host addresses under both backends, because the simulated
+    // machine models hash host addresses (line numbers, cache sets).
+    const auto top =
+        reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
+    const std::uintptr_t run_entry =
+        ((top - 8) & ~std::uintptr_t(15)) - 8;
+    const std::uintptr_t thunk_entry = run_entry + 8;
+    auto* frame = reinterpret_cast<std::uintptr_t*>(thunk_entry) - 8;
+
+    std::uint32_t mxcsr = 0;
+    std::uint16_t fcw = 0;
+    __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+    __asm__ volatile("fnstcw %0" : "=m"(fcw));
+
+    // The frame htmsim_context_switch pops on first switch-in, low to
+    // high: FP control words, r15..r12, rbx, rbp, return address.
+    frame[0] = std::uintptr_t(mxcsr) | (std::uintptr_t(fcw) << 32);
+    frame[1] = reinterpret_cast<std::uintptr_t>(this); // -> r15
+    frame[2] = 0;                                      // -> r14
+    frame[3] = 0;                                      // -> r13
+    frame[4] = 0;                                      // -> r12
+    frame[5] = 0;                                      // -> rbx
+    frame[6] = 0;                                      // -> rbp
+    frame[7] = reinterpret_cast<std::uintptr_t>(&htmsim_fiber_thunk);
+    fastSp() = frame;
+}
+#endif
 
 Fiber::~Fiber()
 {
@@ -42,13 +187,22 @@ Fiber::trampoline(unsigned hi, unsigned lo)
 void
 Fiber::run()
 {
+#if HTMSIM_FAST_FIBERS && HTMSIM_ASAN_FIBERS
+    // First landing on this fiber's stack; the outparams report the
+    // stack we came from — the host thread's, which every fiber of
+    // this thread yields back to.
+    __sanitizer_finish_switch_fiber(nullptr, &owner_stack_bottom,
+                                    &owner_stack_size);
+#endif
     try {
         body_();
     } catch (...) {
         pendingException_ = std::current_exception();
     }
     finished_ = true;
-    // Falling off the trampoline returns to ownerContext_ via uc_link.
+    // Returning hands control back to the owner: via uc_link on the
+    // ucontext backend, via htmsim_fiber_thunk/htmsim_fiber_finish on
+    // the fast backend.
 }
 
 void
@@ -58,7 +212,20 @@ Fiber::resume()
     assert(current_fiber == nullptr && "resume() from inside a fiber");
     started_ = true;
     current_fiber = this;
+#if HTMSIM_FAST_FIBERS
+#if HTMSIM_ASAN_FIBERS
+    void* owner_fake_stack = nullptr;
+    __sanitizer_start_switch_fiber(&owner_fake_stack, stack_.data(),
+                                   stack_.size());
+#endif
+    htmsim_context_switch(&fastOwnerSp(), fastSp());
+#if HTMSIM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(owner_fake_stack, nullptr,
+                                    nullptr);
+#endif
+#else
     swapcontext(&ownerContext_, &context_);
+#endif
     current_fiber = nullptr;
     if (pendingException_) {
         auto exception = pendingException_;
@@ -73,7 +240,21 @@ Fiber::yieldToOwner()
     Fiber* self = current_fiber;
     assert(self && "yieldToOwner() outside any fiber");
     current_fiber = nullptr;
+#if HTMSIM_FAST_FIBERS
+#if HTMSIM_ASAN_FIBERS
+    void* fiber_fake_stack = nullptr;
+    __sanitizer_start_switch_fiber(&fiber_fake_stack,
+                                   owner_stack_bottom,
+                                   owner_stack_size);
+#endif
+    htmsim_context_switch(&self->fastSp(), self->fastOwnerSp());
+#if HTMSIM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fiber_fake_stack, nullptr,
+                                    nullptr);
+#endif
+#else
     swapcontext(&self->context_, &self->ownerContext_);
+#endif
     current_fiber = self;
 }
 

@@ -1,10 +1,17 @@
 /**
  * @file
- * Cooperative user-level fibers built on ucontext.
+ * Cooperative user-level fibers.
  *
  * Each simulated thread runs on its own fiber. Exactly one fiber (or the
  * scheduler) executes at any host instant, so simulated code needs no
  * host-level synchronization.
+ *
+ * On x86-64 Linux the switch is a hand-rolled stack swap that saves only
+ * the callee-saved registers and the FP control words. ucontext's
+ * swapcontext also saves/restores the signal mask — a sigprocmask
+ * syscall per switch — which dominated host time at the simulator's
+ * millions of scheduling points. Other platforms (or builds defining
+ * HTMSIM_UCONTEXT_FIBERS) keep the portable ucontext backend.
  */
 
 #ifndef HTMSIM_SIM_FIBER_HH
@@ -17,6 +24,22 @@
 #include <functional>
 #include <memory>
 #include <vector>
+
+#if defined(__x86_64__) && defined(__linux__) && \
+    !defined(HTMSIM_UCONTEXT_FIBERS)
+#define HTMSIM_FAST_FIBERS 1
+#else
+#define HTMSIM_FAST_FIBERS 0
+#endif
+
+namespace htmsim::sim
+{
+class Fiber;
+}
+
+#if HTMSIM_FAST_FIBERS
+extern "C" void htmsim_fiber_finish(htmsim::sim::Fiber* fiber);
+#endif
 
 namespace htmsim::sim
 {
@@ -60,6 +83,22 @@ class Fiber
     static constexpr std::size_t defaultStackBytes = 1024 * 1024;
 
   private:
+#if HTMSIM_FAST_FIBERS
+    friend void ::htmsim_fiber_finish(Fiber*);
+
+    /// Build the initial stack frame the first switch-in will pop.
+    void initFastStack();
+
+    /// Saved stack pointers live inside the (otherwise unused)
+    /// ucontext_t members: simulated placement is sensitive to host
+    /// heap layout, so sizeof(Fiber) must not depend on the backend.
+    void*& fastSp() { return *reinterpret_cast<void**>(&context_); }
+    void*& fastOwnerSp()
+    {
+        return *reinterpret_cast<void**>(&ownerContext_);
+    }
+#endif
+
     static void trampoline(unsigned hi, unsigned lo);
     void run();
 

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Determinism regression test: the simulator must produce bit-identical
+ * results for identical inputs.
+ *
+ * Simulated metrics depend on host addresses (line numbers and cache
+ * sets are hashed from real pointers), so "run it twice in one
+ * process" is not the right check: the second run inherits a heap
+ * reshaped by the first and legitimately sees different placement.
+ * What must hold — and what the benchmark harness relies on to compare
+ * builds — is that a run from a given process image is a pure function
+ * of its inputs. The test forks two children from the same parent
+ * image, runs the full tuning grid of one STAMP cell in each, and
+ * demands byte-identical cycles, commits and per-cause abort vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bench/suite.hh"
+
+namespace
+{
+
+using namespace htmsim;
+
+/// One tuning candidate's simulated outcome; trivially copyable so a
+/// child can ship the whole grid over a pipe in one write.
+struct CandidateMetrics
+{
+    std::uint64_t seqCycles = 0;
+    std::uint64_t tmCycles = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::array<std::uint64_t, 8> causes{};
+
+    bool
+    operator==(const CandidateMetrics& other) const = default;
+};
+
+constexpr unsigned kThreads = 4;
+constexpr std::uint64_t kSeed = 1;
+
+/// Run the full tuning grid for one cell in a forked child and collect
+/// the per-candidate metrics in the parent.
+bool
+runGridForked(const std::string& bench,
+              const htm::MachineConfig& machine,
+              std::vector<CandidateMetrics>& grid)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return false;
+    const pid_t child = ::fork();
+    if (child < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (child == 0) {
+        ::close(fds[0]);
+        bench::SuiteRunner runner(false);
+        const auto configs =
+            bench::SuiteRunner::tuningCandidates(machine);
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            CandidateMetrics& metrics = grid[i];
+            const stamp::Speedup speedup = runner.run(
+                bench, configs[i], machine, kThreads, true, kSeed);
+            metrics.seqCycles = speedup.seq.cycles;
+            metrics.tmCycles = speedup.tm.cycles;
+            metrics.commits = speedup.tm.stats.totalCommits();
+            metrics.aborts = speedup.tm.stats.totalAborts();
+            metrics.causes = speedup.tm.stats.trueCauseAborts;
+        }
+        const char* cursor =
+            reinterpret_cast<const char*>(grid.data());
+        std::size_t remaining = grid.size() * sizeof(grid[0]);
+        while (remaining > 0) {
+            const ssize_t written = ::write(fds[1], cursor, remaining);
+            if (written <= 0)
+                ::_exit(2);
+            cursor += written;
+            remaining -= std::size_t(written);
+        }
+        ::_exit(0);
+    }
+    ::close(fds[1]);
+    char* cursor = reinterpret_cast<char*>(grid.data());
+    std::size_t remaining = grid.size() * sizeof(grid[0]);
+    bool ok = true;
+    while (remaining > 0) {
+        const ssize_t got = ::read(fds[0], cursor, remaining);
+        if (got <= 0) {
+            ok = false;
+            break;
+        }
+        cursor += got;
+        remaining -= std::size_t(got);
+    }
+    ::close(fds[0]);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    return ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+TEST(Determinism, FullTuningGridIsBitIdenticalAcrossRuns)
+{
+    const htm::MachineConfig machine = htm::MachineConfig::all()[2];
+    ASSERT_EQ(machine.name, "Intel Core i7-4770");
+    const std::string bench = "vacation-low";
+    const std::size_t candidates =
+        bench::SuiteRunner::tuningCandidates(machine).size();
+    ASSERT_GT(candidates, 0u);
+
+    // Preallocate both result buffers before the first fork so the
+    // two children start from the same parent heap image.
+    std::vector<CandidateMetrics> first(candidates);
+    std::vector<CandidateMetrics> second(candidates);
+
+    ASSERT_TRUE(runGridForked(bench, machine, first));
+    ASSERT_TRUE(runGridForked(bench, machine, second));
+
+    for (std::size_t i = 0; i < candidates; ++i) {
+        SCOPED_TRACE("candidate " + std::to_string(i));
+        EXPECT_EQ(first[i].seqCycles, second[i].seqCycles);
+        EXPECT_EQ(first[i].tmCycles, second[i].tmCycles);
+        EXPECT_EQ(first[i].commits, second[i].commits);
+        EXPECT_EQ(first[i].aborts, second[i].aborts);
+        EXPECT_EQ(first[i].causes, second[i].causes);
+    }
+
+    // The cell must actually exercise the machinery: committed and
+    // aborted transactions, with at least one non-zero abort cause.
+    std::uint64_t total_commits = 0;
+    std::uint64_t total_aborts = 0;
+    for (const CandidateMetrics& metrics : first) {
+        total_commits += metrics.commits;
+        total_aborts += metrics.aborts;
+    }
+    EXPECT_GT(total_commits, 0u);
+    EXPECT_GT(total_aborts, 0u);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for FlatTable, the open-addressing access-set table
+ * behind the transactional hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/flat_table.hh"
+
+namespace
+{
+
+using htmsim::htm::FlatTable;
+
+TEST(FlatTable, StartsEmptyAndInline)
+{
+    FlatTable<std::uint64_t> table;
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.capacity(), 16u);
+    EXPECT_FALSE(table.spilled());
+    EXPECT_EQ(table.find(42), nullptr);
+}
+
+TEST(FlatTable, InsertReportsNewVsExisting)
+{
+    FlatTable<std::uint64_t> table;
+    bool inserted = false;
+    std::uint64_t& value = table.insertOrFind(7, &inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(value, 0u);
+    value = 99;
+
+    std::uint64_t& again = table.insertOrFind(7, &inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(again, 99u);
+    EXPECT_EQ(table.size(), 1u);
+
+    const std::uint64_t* found = table.find(7);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, 99u);
+}
+
+TEST(FlatTable, KeyZeroIsAValidKey)
+{
+    // Slots are zero-initialized; the epoch stamp, not the key value,
+    // distinguishes live entries, so key 0 must behave normally.
+    FlatTable<std::uint64_t> table;
+    EXPECT_EQ(table.find(0), nullptr);
+    table.insertOrFind(0) = 5;
+    ASSERT_NE(table.find(0), nullptr);
+    EXPECT_EQ(*table.find(0), 5u);
+    table.clear();
+    EXPECT_EQ(table.find(0), nullptr);
+}
+
+TEST(FlatTable, GrowsPastInlineCapacity)
+{
+    FlatTable<std::uint64_t, 8> table;
+    for (std::uintptr_t key = 100; key < 200; ++key)
+        table.insertOrFind(key) = key * 3;
+    EXPECT_EQ(table.size(), 100u);
+    EXPECT_TRUE(table.spilled());
+    EXPECT_GE(table.capacity(), 128u);
+    for (std::uintptr_t key = 100; key < 200; ++key) {
+        const std::uint64_t* value = table.find(key);
+        ASSERT_NE(value, nullptr) << "key " << key;
+        EXPECT_EQ(*value, key * 3);
+    }
+    EXPECT_EQ(table.find(99), nullptr);
+    EXPECT_EQ(table.find(200), nullptr);
+}
+
+TEST(FlatTable, ClearIsLogicalAndReusable)
+{
+    FlatTable<std::uint64_t> table;
+    for (std::uintptr_t key = 1; key <= 10; ++key)
+        table.insertOrFind(key) = key;
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+    for (std::uintptr_t key = 1; key <= 10; ++key)
+        EXPECT_EQ(table.find(key), nullptr);
+
+    // Re-inserting a cleared key must see a value-initialized entry,
+    // not the stale pre-clear value.
+    bool inserted = false;
+    std::uint64_t& value = table.insertOrFind(3, &inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(value, 0u);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatTable, ClearSurvivesManyEpochs)
+{
+    FlatTable<std::uint64_t> table;
+    for (unsigned round = 0; round < 100'000; ++round) {
+        table.insertOrFind(round & 7) = round;
+        table.clear();
+    }
+    EXPECT_EQ(table.size(), 0u);
+    for (std::uintptr_t key = 0; key < 8; ++key)
+        EXPECT_EQ(table.find(key), nullptr);
+}
+
+TEST(FlatTable, ForEachVisitsExactlyLiveEntries)
+{
+    FlatTable<std::uint64_t, 8> table;
+    table.insertOrFind(11) = 1;
+    table.insertOrFind(22) = 2;
+    table.clear();
+    table.insertOrFind(33) = 3;
+    table.insertOrFind(44) = 4;
+
+    std::vector<std::pair<std::uintptr_t, std::uint64_t>> seen;
+    table.forEach([&seen](std::uintptr_t key, const std::uint64_t& value) {
+        seen.emplace_back(key, value);
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    std::uint64_t sum_keys = 0;
+    for (const auto& [key, value] : seen) {
+        sum_keys += key;
+        EXPECT_EQ(value, key / 11);
+    }
+    EXPECT_EQ(sum_keys, 77u);
+}
+
+TEST(FlatTable, EntriesSurviveGrowthMidEpoch)
+{
+    // Grow while stale (pre-clear) entries still occupy the old array:
+    // only live entries may migrate.
+    FlatTable<std::uint64_t, 8> table;
+    for (std::uintptr_t key = 0; key < 6; ++key)
+        table.insertOrFind(1000 + key) = 1;
+    table.clear();
+    for (std::uintptr_t key = 0; key < 40; ++key)
+        table.insertOrFind(2000 + key) = 2;
+    EXPECT_EQ(table.size(), 40u);
+    for (std::uintptr_t key = 0; key < 6; ++key)
+        EXPECT_EQ(table.find(1000 + key), nullptr);
+    for (std::uintptr_t key = 0; key < 40; ++key) {
+        ASSERT_NE(table.find(2000 + key), nullptr);
+        EXPECT_EQ(*table.find(2000 + key), 2u);
+    }
+}
+
+TEST(FlatTable, StructValuesAreValueInitialized)
+{
+    struct Marks
+    {
+        int writer = -1;
+        std::uint64_t readers = 0;
+    };
+    FlatTable<Marks> table;
+    Marks& marks = table.insertOrFind(5);
+    EXPECT_EQ(marks.writer, -1);
+    EXPECT_EQ(marks.readers, 0u);
+    marks.writer = 3;
+    table.clear();
+    EXPECT_EQ(table.insertOrFind(5).writer, -1);
+}
+
+} // namespace

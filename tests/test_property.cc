@@ -10,9 +10,11 @@
 #include <map>
 #include <numeric>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "htm/context.hh"
+#include "htm/flat_table.hh"
 #include "htm/runtime.hh"
 #include "sim/sim.hh"
 #include "tmds/tm_hashtable.hh"
@@ -229,5 +231,59 @@ INSTANTIATE_TEST_SUITE_P(
                           ConflictPolicy::attackerLoses,
                           ConflictPolicy::olderWins)),
     sweepName);
+
+TEST(FlatTableProperty, MatchesUnorderedMapUnderRandomOps)
+{
+    // Drive FlatTable and std::unordered_map with the same random
+    // stream of insert/update, lookup and clear operations, in the
+    // mix the transactional hot path produces (clustered line
+    // numbers, frequent clears), and demand identical contents.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        sim::Rng rng(seed, 99);
+        FlatTable<std::uint64_t, 8> table;
+        std::unordered_map<std::uintptr_t, std::uint64_t> reference;
+
+        for (unsigned op = 0; op < 20'000; ++op) {
+            // Cluster keys the way line numbers cluster: a handful of
+            // 64-line regions plus occasional far outliers.
+            const std::uint64_t roll = rng.nextU64();
+            std::uintptr_t key = (roll >> 8) % 6 * 0x10000 + (roll & 63);
+            if (roll % 97 == 0)
+                key += 0x900000 + roll % 1024;
+
+            const unsigned action = roll % 100;
+            if (action < 70) {
+                bool inserted = false;
+                std::uint64_t& value = table.insertOrFind(key, &inserted);
+                EXPECT_EQ(inserted, !reference.count(key));
+                value += roll;
+                reference[key] += roll;
+            } else if (action < 95) {
+                const std::uint64_t* value = table.find(key);
+                auto expected = reference.find(key);
+                if (expected == reference.end()) {
+                    EXPECT_EQ(value, nullptr);
+                } else {
+                    ASSERT_NE(value, nullptr);
+                    EXPECT_EQ(*value, expected->second);
+                }
+            } else {
+                table.clear();
+                reference.clear();
+            }
+        }
+
+        ASSERT_EQ(table.size(), reference.size());
+        std::size_t visited = 0;
+        table.forEach(
+            [&](std::uintptr_t key, const std::uint64_t& value) {
+                ++visited;
+                auto expected = reference.find(key);
+                ASSERT_NE(expected, reference.end()) << "key " << key;
+                EXPECT_EQ(value, expected->second);
+            });
+        EXPECT_EQ(visited, reference.size());
+    }
+}
 
 } // namespace

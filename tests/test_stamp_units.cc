@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <set>
 
@@ -324,22 +327,46 @@ TEST(YadaUnits, GentleAspectMeansNoWork)
 
 TEST(YadaUnits, DeterministicMeshPerSeedAndThreads)
 {
-    auto run_once = [] {
-        YadaParams params;
-        params.gridX = 5;
-        params.gridY = 5;
-        params.pointBudget = 80;
-        YadaApp app(params);
-        (void)runTransactional(app, intel(), 4, 9);
-        return std::make_pair(app.pointCount(),
-                              app.aliveTriangles());
+    // Mesh pointers feed the conflict model, so two in-process runs
+    // see different heap layouts and may legitimately drift. Fork each
+    // run from the same parent image instead: determinism then demands
+    // exactly equal geometry counts.
+    auto run_in_child = [](std::uint64_t counts[2]) {
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        const pid_t child = ::fork();
+        ASSERT_GE(child, 0);
+        if (child == 0) {
+            ::close(fds[0]);
+            YadaParams params;
+            params.gridX = 5;
+            params.gridY = 5;
+            params.pointBudget = 80;
+            YadaApp app(params);
+            (void)runTransactional(app, intel(), 4, 9);
+            const std::uint64_t result[2] = {app.pointCount(),
+                                             app.aliveTriangles()};
+            const bool ok =
+                ::write(fds[1], result, sizeof(result)) ==
+                ssize_t(sizeof(result));
+            ::_exit(ok ? 0 : 2);
+        }
+        ::close(fds[1]);
+        const ssize_t got =
+            ::read(fds[0], counts, 2 * sizeof(counts[0]));
+        ::close(fds[0]);
+        int status = 0;
+        ::waitpid(child, &status, 0);
+        ASSERT_EQ(got, ssize_t(2 * sizeof(counts[0])));
+        ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
     };
-    // Mesh pointers differ between runs, but the geometry counts must
-    // be close (allocation-alignment effects can shift a conflict).
-    const auto first = run_once();
-    const auto second = run_once();
-    EXPECT_NEAR(double(first.first), double(second.first), 6.0);
-    EXPECT_NEAR(double(first.second), double(second.second), 16.0);
+    std::uint64_t first[2] = {0, 0};
+    std::uint64_t second[2] = {0, 0};
+    run_in_child(first);
+    run_in_child(second);
+    EXPECT_EQ(first[0], second[0]);
+    EXPECT_EQ(first[1], second[1]);
+    EXPECT_GT(first[0], 0u);
 }
 
 // ------------------------------------------------------------------
