@@ -32,7 +32,7 @@ main()
             bool first = true;
             for (RuntimeConfig config :
                  SuiteRunner::tuningCandidates(intel)) {
-                config.prefetchEnabled = enabled;
+                config.intel.prefetchEnabled = enabled;
                 const Speedup current =
                     runner.run(bench, config, intel, 4, true, 1);
                 if (first || current.ratio > best.ratio) {

@@ -85,7 +85,7 @@ main()
              {std::pair{htm::BgqMode::shortRunning, "short/eager"},
               std::pair{htm::BgqMode::longRunning, "long/lazy"}}) {
             RuntimeConfig config{bgq};
-            config.bgqMode = mode;
+            config.bgq.mode = mode;
             const Speedup result =
                 runner.run(bench, config, bgq, 4, true, 1);
             std::printf("%-14s %-14s %10.2f %8.1f\n", bench.c_str(),

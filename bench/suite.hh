@@ -93,7 +93,7 @@ class SuiteRunner
                     config.retry.lockRetries,
                     config.retry.persistentRetries,
                     config.retry.transientRetries,
-                    int(config.bgqMode), config.bgqMaxRetries,
+                    int(config.bgq.mode), config.bgq.maxRetries,
                     current.ratio,
                     current.tm.stats.abortRatio() * 100.0,
                     current.tm.stats.serializationRatio() * 100.0);
@@ -301,8 +301,8 @@ class SuiteRunner
                  {htm::BgqMode::shortRunning, htm::BgqMode::longRunning}) {
                 for (const int retries : {3, 10, 32}) {
                     RuntimeConfig config = base;
-                    config.bgqMode = mode;
-                    config.bgqMaxRetries = retries;
+                    config.bgq.mode = mode;
+                    config.bgq.maxRetries = retries;
                     result.push_back(config);
                 }
             }

@@ -4,10 +4,14 @@
  * the four machines with a chosen thread count, and print speed-up
  * and abort statistics.
  *
- *   stamp_runner [benchmark] [machine] [threads]
+ *   stamp_runner [benchmark] [machine] [threads] [backend]
  *   stamp_runner vacation-high z12 8
+ *   stamp_runner genome ic 4 lock
  *
- * Machines: bg | z12 | ic | p8. Defaults: genome ic 4.
+ * Machines: bg | z12 | ic | p8. Backends: htm (best-effort HTM with
+ * lock fallback, the default) | lock (every section under the global
+ * lock) | ideal (no capacity limits, free begin/end).
+ * Defaults: genome ic 4 htm.
  */
 
 #include <cstdio>
@@ -25,6 +29,21 @@ main(int argc, char** argv)
     const std::string machine_name = argc > 2 ? argv[2] : "ic";
     const unsigned threads =
         argc > 3 ? unsigned(std::atoi(argv[3])) : 4;
+    const std::string backend_name = argc > 4 ? argv[4] : "htm";
+
+    htm::BackendKind backend;
+    if (backend_name == "htm") {
+        backend = htm::BackendKind::htm;
+    } else if (backend_name == "lock") {
+        backend = htm::BackendKind::globalLock;
+    } else if (backend_name == "ideal") {
+        backend = htm::BackendKind::idealHtm;
+    } else {
+        std::fprintf(stderr,
+                     "unknown backend '%s' (use htm|lock|ideal)\n",
+                     backend_name.c_str());
+        return 1;
+    }
 
     int machine_index = -1;
     const char* labels[] = {"bg", "z12", "ic", "p8"};
@@ -58,10 +77,31 @@ main(int argc, char** argv)
     }
 
     SuiteRunner runner;
-    const Speedup result = runner.measure(bench, machine, threads);
+    Speedup result;
+    if (backend == htm::BackendKind::htm) {
+        result = runner.measure(bench, machine, threads);
+    } else {
+        // Non-default backends: tune the retry grid ourselves (it
+        // still matters for the ideal backend's data conflicts; the
+        // lock backend ignores it, so one candidate suffices).
+        bool first = true;
+        for (RuntimeConfig config :
+             SuiteRunner::tuningCandidates(machine)) {
+            config.backend = backend;
+            const Speedup current =
+                runner.run(bench, config, machine, threads, true, 1);
+            if (first || current.ratio > result.ratio) {
+                result = current;
+                first = false;
+            }
+            if (backend == htm::BackendKind::globalLock)
+                break;
+        }
+    }
 
-    std::printf("%s on %s with %u thread(s)\n", bench.c_str(),
-                machine.name.c_str(), threads);
+    std::printf("%s on %s with %u thread(s), backend %s\n",
+                bench.c_str(), machine.name.c_str(), threads,
+                htm::backendKindName(backend));
     std::printf("  sequential: %12llu cycles\n",
                 (unsigned long long)result.seq.cycles);
     std::printf("  HTM:        %12llu cycles  -> speed-up %.2fx\n",

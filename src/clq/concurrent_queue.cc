@@ -10,6 +10,18 @@ using htm::Runtime;
 using htm::Tx;
 using sim::ThreadContext;
 
+namespace
+{
+
+/** Attempt budget of the transactional queue modes (Section 6.1). */
+int
+tmAttempts(QueueMode mode, int retries)
+{
+    return mode == QueueMode::noRetryTm ? 1 : retries;
+}
+
+} // namespace
+
 ConcurrentQueue::ConcurrentQueue()
 {
     Node* dummy = makeNode(0);
@@ -117,20 +129,18 @@ ConcurrentQueue::enqueue(Runtime& runtime, ThreadContext& ctx,
         return;
     }
 
-    const int attempts = mode == QueueMode::noRetryTm ? 1 : retries;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-        bool fast_path = false;
-        const AbortCause cause = runtime.tryOnce(ctx, [&](Tx& tx) {
-            tx.work(tmPathWork);
-            fast_path = enqueueBody(tx, node);
-        });
-        if (cause == AbortCause::none) {
-            if (!fast_path)
-                enqueueLockFree(runtime, ctx, node);
-            return;
-        }
-    }
-    enqueueLockFree(runtime, ctx, node);
+    // NoRetryTM and OptRetryTM are the same path with different
+    // attempt budgets (BoundedRetryPolicy(1) == NoRetryPolicy); the
+    // lock-free queue is the fallback instead of the global lock.
+    htm::BoundedRetryPolicy policy(tmAttempts(mode, retries));
+    bool fast_path = false;
+    const AbortCause cause = runtime.tryAtomic(ctx, policy, [&](Tx& tx) {
+        fast_path = false;
+        tx.work(tmPathWork);
+        fast_path = enqueueBody(tx, node);
+    });
+    if (cause != AbortCause::none || !fast_path)
+        enqueueLockFree(runtime, ctx, node);
 }
 
 bool
@@ -156,24 +166,21 @@ ConcurrentQueue::dequeue(Runtime& runtime, ThreadContext& ctx,
         return true;
     }
 
-    const int attempts = mode == QueueMode::noRetryTm ? 1 : retries;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-        bool empty = false;
-        std::uint64_t value = 0;
-        const AbortCause cause = runtime.tryOnce(ctx, [&](Tx& tx) {
-            empty = false;
-            tx.work(tmPathWork);
-            dequeueBody(tx, &empty, &value);
-        });
-        if (cause == AbortCause::none) {
-            if (empty)
-                return false;
-            if (out != nullptr)
-                *out = value;
-            return true;
-        }
-    }
-    return dequeueLockFree(runtime, ctx, out);
+    htm::BoundedRetryPolicy policy(tmAttempts(mode, retries));
+    bool empty = false;
+    std::uint64_t value = 0;
+    const AbortCause cause = runtime.tryAtomic(ctx, policy, [&](Tx& tx) {
+        empty = false;
+        tx.work(tmPathWork);
+        dequeueBody(tx, &empty, &value);
+    });
+    if (cause != AbortCause::none)
+        return dequeueLockFree(runtime, ctx, out);
+    if (empty)
+        return false;
+    if (out != nullptr)
+        *out = value;
+    return true;
 }
 
 } // namespace htmsim::clq

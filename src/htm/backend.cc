@@ -1,0 +1,127 @@
+#include "backend.hh"
+
+#include "runtime.hh"
+
+namespace htmsim::htm
+{
+
+const char*
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::htm:
+        return "htm";
+      case BackendKind::globalLock:
+        return "lock";
+      case BackendKind::idealHtm:
+        return "ideal";
+    }
+    return "unknown";
+}
+
+// --------------------------------------------------------------------
+// The narrow window into Runtime (TmBackend is its friend)
+// --------------------------------------------------------------------
+
+AbortCause
+TmBackend::attemptOnce(Runtime& runtime, sim::ThreadContext& ctx,
+                       FunctionRef<void(Tx&)> body, bool lazy_subscribe)
+{
+    return runtime.attempt(runtime.txOf(ctx.id()), ctx, body,
+                           lazy_subscribe, true);
+}
+
+void
+TmBackend::waitToBegin(Runtime& runtime, sim::ThreadContext& ctx)
+{
+    runtime.waitToBegin(ctx);
+}
+
+void
+TmBackend::backoff(Runtime& runtime, sim::ThreadContext& ctx,
+                   unsigned consecutive_aborts)
+{
+    runtime.backoff(ctx, consecutive_aborts);
+}
+
+void
+TmBackend::runUnderGlobalLock(Runtime& runtime, sim::ThreadContext& ctx,
+                              FunctionRef<void(Tx&)> body)
+{
+    runtime.runIrrevocable(ctx, runtime.txOf(ctx.id()), body);
+}
+
+bool
+TmBackend::lockHeld(const Runtime& runtime)
+{
+    return runtime.globalLockHeld();
+}
+
+// --------------------------------------------------------------------
+// HtmBackend
+// --------------------------------------------------------------------
+
+HtmBackend::HtmBackend(const RuntimeConfig& config, unsigned num_threads)
+{
+    policies_.reserve(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid)
+        policies_.push_back(makeRetryPolicy(config));
+}
+
+void
+HtmBackend::runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                      FunctionRef<void(Tx&)> body)
+{
+    // The generic retry driver behind every machine's atomic():
+    // Figure 1 with the policy layer supplying the decisions. Which
+    // counters exist, how lock conflicts are classified and whether
+    // the lock is subscribed lazily all live in the RetryPolicy.
+    RetryPolicy& policy = *policies_[ctx.id()];
+    const bool lazy = policy.lazySubscription();
+    policy.beginSection();
+
+    unsigned consecutive = 0;
+    for (;;) {
+        waitToBegin(runtime, ctx);
+        const AbortCause cause = attemptOnce(runtime, ctx, body, lazy);
+        if (cause == AbortCause::none) {
+            policy.onCommit();
+            return;
+        }
+        ++consecutive;
+        if (policy.onAbort(cause, lockHeld(runtime))) {
+            backoff(runtime, ctx, consecutive);
+            continue;
+        }
+        runUnderGlobalLock(runtime, ctx, body);
+        policy.onFallback();
+        return;
+    }
+}
+
+// --------------------------------------------------------------------
+// GlobalLockBackend
+// --------------------------------------------------------------------
+
+void
+GlobalLockBackend::runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                             FunctionRef<void(Tx&)> body)
+{
+    runUnderGlobalLock(runtime, ctx, body);
+}
+
+std::unique_ptr<TmBackend>
+makeBackend(const RuntimeConfig& config, unsigned num_threads)
+{
+    switch (config.backend) {
+      case BackendKind::globalLock:
+        return std::make_unique<GlobalLockBackend>();
+      case BackendKind::idealHtm:
+        return std::make_unique<IdealHtmBackend>(config, num_threads);
+      case BackendKind::htm:
+        break;
+    }
+    return std::make_unique<HtmBackend>(config, num_threads);
+}
+
+} // namespace htmsim::htm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Execution-backend layer: what an atomic section *is*.
+ *
+ * A TmBackend decides how Runtime::atomic() executes its body:
+ *
+ *  - HtmBackend: best-effort hardware transactions driven by a
+ *    per-thread RetryPolicy, with the global-lock fallback — the
+ *    machine behaviour the paper measures;
+ *  - GlobalLockBackend: every section runs irrevocably under the
+ *    global fallback lock — the honest software baseline a
+ *    speculation-free runtime would give, and the floor HTM must
+ *    beat to justify itself (cf. "Inherent Limitations of Hybrid
+ *    Transactional Memory", PAPERS.md);
+ *  - IdealHtmBackend: transactions with unlimited capacity and free
+ *    begin/end/abort — an upper-bound oracle isolating how much the
+ *    real machines' capacity limits and bookkeeping overheads cost
+ *    (only true data and lock conflicts remain).
+ *
+ * Backends are selected by RuntimeConfig::backend; the ideal
+ * backend's relaxations are applied where the Runtime resolves its
+ * effective machine parameters, so the transactional hot path is
+ * shared by HtmBackend and IdealHtmBackend.
+ *
+ * The backend layer deliberately sees only a narrow window into the
+ * Runtime: one transactional attempt, the lemming-effect wait, the
+ * backoff charge, and the irrevocable fallback (protected statics on
+ * the TmBackend base). Everything else — conflict directory, capacity
+ * accounting, statistics — stays behind it.
+ */
+
+#ifndef HTMSIM_HTM_BACKEND_HH
+#define HTMSIM_HTM_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "abort.hh"
+#include "function_ref.hh"
+#include "retry_policy.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::htm
+{
+
+class Runtime;
+class Tx;
+struct RuntimeConfig;
+
+/** Execution backend selector (RuntimeConfig::backend). */
+enum class BackendKind : std::uint8_t
+{
+    /** Best-effort HTM with retry policy + global-lock fallback. */
+    htm,
+    /** Every atomic section runs irrevocably under the global lock. */
+    globalLock,
+    /** HTM with unlimited capacity and free begin/end (oracle). */
+    idealHtm,
+};
+
+/** Human-readable backend name ("htm", "lock", "ideal"). */
+const char* backendKindName(BackendKind kind);
+
+/** How one Runtime executes atomic sections. */
+class TmBackend
+{
+  public:
+    virtual ~TmBackend() = default;
+
+    /** Execute @p body atomically on behalf of Runtime::atomic(). */
+    virtual void runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                           FunctionRef<void(Tx&)> body) = 0;
+
+  protected:
+    // The narrow window into Runtime internals granted to backends
+    // (TmBackend is a friend of Runtime; subclasses go through these).
+
+    /** One transactional attempt: begin, body, commit. */
+    static AbortCause attemptOnce(Runtime& runtime,
+                                  sim::ThreadContext& ctx,
+                                  FunctionRef<void(Tx&)> body,
+                                  bool lazy_subscribe);
+
+    /** Wait out a held fallback lock before beginning (Fig. 1 l. 9). */
+    static void waitToBegin(Runtime& runtime, sim::ThreadContext& ctx);
+
+    /** Charge randomized exponential backoff after an abort. */
+    static void backoff(Runtime& runtime, sim::ThreadContext& ctx,
+                        unsigned consecutive_aborts);
+
+    /** Run @p body irrevocably under the global fallback lock. */
+    static void runUnderGlobalLock(Runtime& runtime,
+                                   sim::ThreadContext& ctx,
+                                   FunctionRef<void(Tx&)> body);
+
+    /** Whether the global fallback lock is currently held. */
+    static bool lockHeld(const Runtime& runtime);
+};
+
+/**
+ * The paper's machine behaviour: hardware attempts driven by one
+ * RetryPolicy per thread, falling back to the global lock when the
+ * policy gives up.
+ */
+class HtmBackend : public TmBackend
+{
+  public:
+    HtmBackend(const RuntimeConfig& config, unsigned num_threads);
+
+    void runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                   FunctionRef<void(Tx&)> body) override;
+
+  private:
+    std::vector<std::unique_ptr<RetryPolicy>> policies_;
+};
+
+/** Lock-only execution: no speculation, every section irrevocable. */
+class GlobalLockBackend final : public TmBackend
+{
+  public:
+    void runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                   FunctionRef<void(Tx&)> body) override;
+};
+
+/**
+ * The oracle backend: the same retry-driven execution as HtmBackend,
+ * on a machine whose capacity limits, begin/end/abort costs, abort
+ * randomness, prefetcher and speculation-ID pool have been idealized
+ * away (see Runtime's effective-parameter resolution).
+ */
+class IdealHtmBackend final : public HtmBackend
+{
+  public:
+    using HtmBackend::HtmBackend;
+};
+
+/** The backend selected by @p config (one per Runtime). */
+std::unique_ptr<TmBackend> makeBackend(const RuntimeConfig& config,
+                                       unsigned num_threads);
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_BACKEND_HH

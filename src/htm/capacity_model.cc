@@ -1,0 +1,143 @@
+#include "capacity_model.hh"
+
+#include <algorithm>
+
+namespace htmsim::htm
+{
+
+namespace
+{
+
+/** A per-core budget shared by @p sharers SMT threads, never zero. */
+std::size_t
+sharedBudget(std::size_t lines, unsigned sharers)
+{
+    return std::max<std::size_t>(1, lines / sharers);
+}
+
+/** No budgets: the STM trace tool and the ideal-HTM oracle. */
+class UnlimitedCapacityModel final : public CapacityModel
+{
+  public:
+    AbortCause
+    judgeNewLine(std::uintptr_t, bool, unsigned,
+                 FootprintAccount&) override
+    {
+        return AbortCause::none;
+    }
+};
+
+/** Loads and stores share one budget (BG/Q L2 slice, POWER8 TMCAM). */
+class CombinedCapacityModel final : public CapacityModel
+{
+  public:
+    explicit CombinedCapacityModel(std::size_t budget_lines)
+        : budgetLines_(budget_lines)
+    {
+    }
+
+    AbortCause
+    judgeNewLine(std::uintptr_t, bool, unsigned sharers,
+                 FootprintAccount& account) override
+    {
+        if (account.totalLines > sharedBudget(budgetLines_, sharers))
+            return AbortCause::capacityOverflow;
+        return AbortCause::none;
+    }
+
+  private:
+    std::size_t budgetLines_;
+};
+
+/** Independent load / store budgets (zEC12's LRU extension and
+ *  gathering store cache). */
+class SplitCapacityModel final : public CapacityModel
+{
+  public:
+    SplitCapacityModel(std::size_t load_lines, std::size_t store_lines)
+        : loadBudgetLines_(load_lines), storeBudgetLines_(store_lines)
+    {
+    }
+
+    AbortCause
+    judgeNewLine(std::uintptr_t, bool new_store, unsigned sharers,
+                 FootprintAccount& account) override
+    {
+        if (new_store) {
+            if (account.storeLines >
+                sharedBudget(storeBudgetLines_, sharers)) {
+                return AbortCause::capacityOverflow;
+            }
+        } else if (account.loadLines >
+                   sharedBudget(loadBudgetLines_, sharers)) {
+            return AbortCause::capacityOverflow;
+        }
+        return AbortCause::none;
+    }
+
+  private:
+    std::size_t loadBudgetLines_;
+    std::size_t storeBudgetLines_;
+};
+
+/**
+ * Intel Core: split budgets plus the L1 set-associativity rule —
+ * transactional stores must stay in the L1, so exceeding a set's ways
+ * evicts a transactional line and aborts (reported persistent).
+ */
+class IntelCapacityModel final : public CapacityModel
+{
+  public:
+    IntelCapacityModel(std::size_t load_lines, std::size_t store_lines,
+                       unsigned store_sets, unsigned store_ways)
+        : split_(load_lines, store_lines), storeSets_(store_sets),
+          storeWays_(store_ways)
+    {
+    }
+
+    AbortCause
+    judgeNewLine(std::uintptr_t line_number, bool new_store,
+                 unsigned sharers, FootprintAccount& account) override
+    {
+        const AbortCause cause = split_.judgeNewLine(
+            line_number, new_store, sharers, account);
+        if (cause != AbortCause::none)
+            return cause;
+        if (new_store) {
+            const unsigned set =
+                unsigned(line_number) & (storeSets_ - 1);
+            const unsigned ways_used =
+                ++account.storeSetLines->insertOrFind(set);
+            if (ways_used > std::max(1u, storeWays_ / sharers))
+                return AbortCause::wayConflict;
+        }
+        return AbortCause::none;
+    }
+
+  private:
+    SplitCapacityModel split_;
+    unsigned storeSets_;
+    unsigned storeWays_;
+};
+
+} // namespace
+
+std::unique_ptr<CapacityModel>
+makeCapacityModel(const MachineConfig& machine, bool ignore_capacity)
+{
+    if (ignore_capacity)
+        return std::make_unique<UnlimitedCapacityModel>();
+    if (machine.storeSets > 0) {
+        return std::make_unique<IntelCapacityModel>(
+            machine.loadCapacityLines(), machine.storeCapacityLines(),
+            machine.storeSets, machine.storeWays);
+    }
+    if (machine.combinedCapacity) {
+        return std::make_unique<CombinedCapacityModel>(
+            machine.loadCapacityLines());
+    }
+    return std::make_unique<SplitCapacityModel>(
+        machine.loadCapacityLines(), machine.storeCapacityLines());
+}
+
+} // namespace htmsim::htm

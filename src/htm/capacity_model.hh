@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Capacity-model layer: per-machine transactional-footprint budgets.
+ *
+ * Every machine bounds how much data a transaction may touch before
+ * the hardware gives up; Section 2 of the paper shows the *mechanism*
+ * differs per machine, and Figures 10/11 show the budgets are the
+ * dominant explanatory variable for several benchmarks. A
+ * CapacityModel is a strategy object created from a MachineConfig:
+ * it judges each first touch of a capacity-granularity line against
+ * the machine's budgets and reports the abort cause the hardware
+ * would raise, or AbortCause::none.
+ *
+ *  - CombinedCapacityModel: one budget for loads + stores together —
+ *    Blue Gene/Q's 20 MB L2 slice and POWER8's 64-entry TMCAM
+ *    (8 KB at 128-byte lines);
+ *  - SplitCapacityModel: independent load and store budgets — zEC12's
+ *    1 MB LRU-extension load tracking and 8 KB gathering store cache;
+ *  - IntelCapacityModel: split budgets plus the L1 way-conflict rule —
+ *    transactional stores must stay in the 8-way L1, so a 9th store
+ *    line mapping to one set aborts long before the 22 KB budget;
+ *  - UnlimitedCapacityModel: no budgets at all — the paper's STM-based
+ *    trace tool (RuntimeConfig::ignoreCapacity) and the ideal-HTM
+ *    backend.
+ *
+ * All models divide per-core budgets by the number of concurrently
+ * transactional SMT threads on the core ("resource sharing among SMT
+ * threads", Section 2); the caller reports that number per touch.
+ *
+ * The model owns no per-transaction state: the footprint counters and
+ * the Intel per-set store counts live in the Tx (they are cleared by
+ * its O(1) epoch reset) and are passed in by reference. Models are
+ * therefore shared by all transactions of a Runtime.
+ */
+
+#ifndef HTMSIM_HTM_CAPACITY_MODEL_HH
+#define HTMSIM_HTM_CAPACITY_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "abort.hh"
+#include "flat_table.hh"
+#include "machine.hh"
+
+namespace htmsim::htm
+{
+
+/**
+ * One transaction's footprint account, viewed by the model. Counters
+ * already include the line being judged.
+ */
+struct FootprintAccount
+{
+    /** Unique capacity-granularity lines touched (loads + stores). */
+    std::size_t totalLines;
+    /** Unique lines transactionally loaded. */
+    std::uint32_t loadLines;
+    /** Unique lines transactionally stored. */
+    std::uint32_t storeLines;
+    /** Store lines per L1 set (Intel way-conflict accounting); the
+     *  model mutates it when it tracks sets. */
+    FlatTable<unsigned>* storeSetLines;
+};
+
+/** Per-machine footprint-budget strategy. */
+class CapacityModel
+{
+  public:
+    virtual ~CapacityModel() = default;
+
+    /**
+     * Judge the first touch of one capacity line.
+     *
+     * @param line_number capacity-granularity line number
+     * @param new_store true for a store touch, false for a load touch
+     * @param sharers concurrently transactional threads on the core
+     *        (>= 1); per-core budgets are divided by it
+     * @param account the transaction's footprint, including this line
+     * @return the abort the hardware raises, or AbortCause::none
+     */
+    virtual AbortCause judgeNewLine(std::uintptr_t line_number,
+                                    bool new_store, unsigned sharers,
+                                    FootprintAccount& account) = 0;
+};
+
+/**
+ * The capacity model of @p machine, or UnlimitedCapacityModel when
+ * @p ignore_capacity is set.
+ */
+std::unique_ptr<CapacityModel>
+makeCapacityModel(const MachineConfig& machine, bool ignore_capacity);
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_CAPACITY_MODEL_HH

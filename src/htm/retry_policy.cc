@@ -1,0 +1,19 @@
+#include "retry_policy.hh"
+
+#include "runtime.hh"
+
+namespace htmsim::htm
+{
+
+std::unique_ptr<RetryPolicy>
+makeRetryPolicy(const RuntimeConfig& config)
+{
+    if (config.machine.vendor == Vendor::blueGeneQ) {
+        return std::make_unique<BgqAdaptivePolicy>(
+            config.bgq.maxRetries, config.bgq.adaptation,
+            config.bgq.mode);
+    }
+    return std::make_unique<Fig1ThreeCounterPolicy>(config.retry);
+}
+
+} // namespace htmsim::htm

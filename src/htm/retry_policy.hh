@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Retry-policy layer: the software state machine that decides, after
+ * each transactional abort, whether an atomic section retries in
+ * hardware or gives up to its fallback path.
+ *
+ * A RetryPolicy is a pure decision object: it consumes abort causes
+ * (plus the observed state of the global fallback lock) and emits
+ * retry/stop decisions. It never touches the simulator, the conflict
+ * directory, or a Tx, which is what makes the layer boundary real —
+ * the policies are unit-testable with nothing but scripted abort-cause
+ * streams (tests/test_retry_policy.cc).
+ *
+ * Three policies from the paper:
+ *  - Fig1ThreeCounterPolicy: the paper's Figure 1 mechanism — separate
+ *    budgets for lock-conflict, persistent and transient aborts
+ *    (Section 3), used on zEC12 / Intel Core / POWER8;
+ *  - BgqAdaptivePolicy: Blue Gene/Q's system-software mechanism — one
+ *    retry counter plus per-thread adaptation that stops retrying
+ *    after repeated fallbacks (Section 3);
+ *  - NoRetryPolicy: a single attempt, then straight to the fallback
+ *    (the Section 6.1 "NoRetryTM" path).
+ * BoundedRetryPolicy generalizes NoRetryPolicy to N attempts (the
+ * Section 6.1 "OptRetryTM" path with a tuned attempt budget).
+ */
+
+#ifndef HTMSIM_HTM_RETRY_POLICY_HH
+#define HTMSIM_HTM_RETRY_POLICY_HH
+
+#include <cassert>
+#include <memory>
+
+#include "abort.hh"
+#include "machine.hh"
+
+namespace htmsim::htm
+{
+
+struct RuntimeConfig;
+
+/** Maximum retry counts of the Figure 1 mechanism (tuning knobs). */
+struct RetryCounts
+{
+    int lockRetries = 4;
+    int persistentRetries = 1;
+    int transientRetries = 8;
+};
+
+/**
+ * True if @p cause counts as persistent for the Figure 1 mechanism.
+ * Intel and POWER8 report a persistence hint; the paper's runtime
+ * treats zEC12 capacity overflows as persistent in software
+ * (Section 3). Either way the same causes are persistent.
+ */
+inline bool
+isPersistentCause(AbortCause cause)
+{
+    return cause == AbortCause::capacityOverflow ||
+           cause == AbortCause::wayConflict;
+}
+
+/**
+ * Decision state machine for one thread's atomic sections.
+ *
+ * Drivers call beginSection() once per atomic section, then onAbort()
+ * after every failed attempt until it returns false (stop retrying),
+ * and finally exactly one of onCommit() / onFallback(). Policies may
+ * keep state across sections (BgqAdaptivePolicy's adaptation score),
+ * so one instance serves one thread.
+ */
+class RetryPolicy
+{
+  public:
+    virtual ~RetryPolicy() = default;
+
+    /** Reset per-section state; called before the first attempt. */
+    virtual void beginSection() {}
+
+    /**
+     * Consume one abort. @p lock_held reports whether the global
+     * fallback lock was observed held after the abort (the Figure 1
+     * driver inspects the lock to classify, so a conflict whose lock
+     * was already released again is misattributed — see
+     * Runtime::recordAbort).
+     * @return true to retry transactionally, false to stop.
+     */
+    virtual bool onAbort(AbortCause cause, bool lock_held) = 0;
+
+    /** The section committed transactionally. */
+    virtual void onCommit() {}
+
+    /** The section gave up and ran on its fallback path. */
+    virtual void onFallback() {}
+
+    /** Attempts subscribe to the fallback lock lazily (at commit)
+     *  rather than eagerly (at begin). */
+    virtual bool lazySubscription() const { return false; }
+};
+
+/**
+ * The paper's Figure 1 mechanism: three independent retry budgets,
+ * selected by inspecting the lock and the persistence hint of each
+ * abort. Section 3 argues lock conflicts deserve their own counter;
+ * bench_ablation_retry quantifies that against a single shared one.
+ */
+class Fig1ThreeCounterPolicy final : public RetryPolicy
+{
+  public:
+    explicit Fig1ThreeCounterPolicy(RetryCounts counts)
+        : counts_(counts)
+    {
+        beginSection();
+    }
+
+    void
+    beginSection() override
+    {
+        lockRetries_ = counts_.lockRetries;
+        persistentRetries_ = counts_.persistentRetries;
+        transientRetries_ = counts_.transientRetries;
+    }
+
+    bool
+    onAbort(AbortCause cause, bool lock_held) override
+    {
+        // Figure 1 line 13: a lock observed held (or a lock-word
+        // conflict) charges the lock counter regardless of the
+        // hardware's reported cause.
+        if (lock_held || cause == AbortCause::lockConflict)
+            return --lockRetries_ > 0;
+        if (isPersistentCause(cause))
+            return --persistentRetries_ > 0;
+        return --transientRetries_ > 0;
+    }
+
+  private:
+    RetryCounts counts_;
+    int lockRetries_ = 0;
+    int persistentRetries_ = 0;
+    int transientRetries_ = 0;
+};
+
+/**
+ * Blue Gene/Q's system-provided mechanism (Section 3): one retry
+ * counter for all abort kinds (the hardware reports no reason codes to
+ * count by), plus adaptation — a thread whose sections repeatedly end
+ * in the lock fallback stops retrying until commits decay the score.
+ */
+class BgqAdaptivePolicy final : public RetryPolicy
+{
+  public:
+    /** Fallback-score decay applied on every section outcome. */
+    static constexpr double scoreDecay = 0.9;
+    /** Score above which adaptation suppresses all retries. */
+    static constexpr double adaptationThreshold = 2.5;
+
+    BgqAdaptivePolicy(int max_retries, bool adaptation, BgqMode mode)
+        : maxRetries_(max_retries), adaptation_(adaptation),
+          mode_(mode)
+    {
+        beginSection();
+    }
+
+    void
+    beginSection() override
+    {
+        retries_ = maxRetries_;
+        if (adaptation_ && score_ > adaptationThreshold)
+            retries_ = 0;
+    }
+
+    bool
+    onAbort(AbortCause, bool) override
+    {
+        return retries_-- > 0;
+    }
+
+    void
+    onCommit() override
+    {
+        score_ *= scoreDecay;
+    }
+
+    void
+    onFallback() override
+    {
+        score_ = score_ * scoreDecay + 1.0;
+    }
+
+    /** Long-running mode checks the lock only at commit [12]. */
+    bool
+    lazySubscription() const override
+    {
+        return mode_ == BgqMode::longRunning;
+    }
+
+  private:
+    int maxRetries_;
+    bool adaptation_;
+    BgqMode mode_;
+    int retries_ = 0;
+    double score_ = 0.0;
+};
+
+/** One hardware attempt, then straight to the fallback (NoRetryTM). */
+class NoRetryPolicy final : public RetryPolicy
+{
+  public:
+    bool
+    onAbort(AbortCause, bool) override
+    {
+        return false;
+    }
+};
+
+/**
+ * A fixed total attempt budget with no abort-kind distinction
+ * (OptRetryTM, Section 6.1). BoundedRetryPolicy(1) behaves like
+ * NoRetryPolicy.
+ */
+class BoundedRetryPolicy final : public RetryPolicy
+{
+  public:
+    explicit BoundedRetryPolicy(int max_attempts)
+        : maxAttempts_(max_attempts)
+    {
+        assert(max_attempts >= 1);
+    }
+
+    void
+    beginSection() override
+    {
+        failedAttempts_ = 0;
+    }
+
+    bool
+    onAbort(AbortCause, bool) override
+    {
+        return ++failedAttempts_ < maxAttempts_;
+    }
+
+  private:
+    int maxAttempts_;
+    int failedAttempts_ = 0;
+};
+
+/**
+ * The policy an HTM-backed atomic section uses under @p config:
+ * BgqAdaptivePolicy on Blue Gene/Q (the machine's system software owns
+ * the mechanism), Fig1ThreeCounterPolicy elsewhere. One instance per
+ * thread (policies carry cross-section state).
+ */
+std::unique_ptr<RetryPolicy> makeRetryPolicy(const RuntimeConfig& config);
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_RETRY_POLICY_HH

@@ -27,22 +27,56 @@ Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
 {
     const MachineConfig& machine = config_.machine;
     assert(num_threads >= 1 && num_threads <= 64);
+    const bool bgq = machine.vendor == Vendor::blueGeneQ;
+    const bool ideal = config_.backend == BackendKind::idealHtm;
 
     // Blue Gene/Q refines its worst-case 128-byte granularity by
     // execution mode: 8 bytes short-running, 64 bytes long-running
     // (Section 2.1).
     std::size_t granularity = machine.conflictGranularity;
-    if (machine.vendor == Vendor::blueGeneQ) {
-        granularity = config_.bgqMode == BgqMode::shortRunning ? 8 : 64;
-    }
+    if (bgq)
+        granularity = config_.bgq.mode == BgqMode::shortRunning ? 8 : 64;
     conflictShift_ = log2Exact(granularity);
     capacityShift_ = log2Exact(machine.capacityLineBytes);
 
+    // Resolve the effective machine parameters once. Blue Gene/Q folds
+    // its mode-dependent extras in here (the long-running L1
+    // invalidation at begin, the short-running L1-bypass latency per
+    // access); the ideal-HTM oracle zeroes every overhead and
+    // randomness source so only true data and lock conflicts remain.
+    txBeginCost_ = machine.txBeginCost;
+    txEndCost_ = machine.txEndCost;
+    txAbortCost_ = machine.txAbortCost;
+    txLoadCost_ = machine.txLoadCost;
+    txStoreCost_ = machine.txStoreCost;
+    lazySubscription_ = bgq && config_.bgq.mode == BgqMode::longRunning;
+    if (lazySubscription_)
+        txBeginCost_ += machine.longModeBeginExtra;
+    if (bgq && config_.bgq.mode == BgqMode::shortRunning) {
+        txLoadCost_ += machine.shortModeAccessExtra;
+        txStoreCost_ += machine.shortModeAccessExtra;
+    }
+    prefetchProb_ = config_.intel.prefetchEnabled
+                        ? machine.prefetchConflictProb
+                        : 0.0;
+    cacheFetchProb_ = machine.cacheFetchAbortProb;
+    specIdPool_ = machine.speculationIds;
+    if (ideal) {
+        txBeginCost_ = 0;
+        txEndCost_ = 0;
+        txAbortCost_ = 0;
+        prefetchProb_ = 0.0;
+        cacheFetchProb_ = 0.0;
+        specIdPool_ = 0;
+    }
+
     table_ = std::make_unique<ConflictTable>(conflictShift_);
+    capacityModel_ =
+        makeCapacityModel(machine, config_.ignoreCapacity || ideal);
+    backend_ = makeBackend(config_, num_threads);
     stats_.resize(num_threads);
     activePerCore_.assign(machine.numCores, 0);
-    bgqFallbackScore_.assign(num_threads, 0.0);
-    freeSpecIds_ = machine.speculationIds;
+    freeSpecIds_ = specIdPool_;
 
     txs_.reserve(num_threads);
     for (unsigned tid = 0; tid < num_threads; ++tid) {
@@ -141,18 +175,12 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 
     acquireSpecId(tx, ctx);
 
-    const MachineConfig& machine = config_.machine;
-    Cycles cost = machine.txBeginCost;
-    if (machine.vendor == Vendor::blueGeneQ &&
-        config_.bgqMode == BgqMode::longRunning) {
-        cost += machine.longModeBeginExtra; // L1 invalidation at start
-    }
-    ctx.advance(cost);
+    ctx.advance(txBeginCost_);
     ctx.sync();
 
     tx.status_ = TxStatus::active;
     tx.startOrder_ = ++startCounter_;
-    ++activePerCore_[machine.coreOf(tx.tid_)];
+    ++activePerCore_[config_.machine.coreOf(tx.tid_)];
 
     if (!lazy_subscribe && !tx.constrained_) {
         // Figure 1, lines 13/26: read the lock word transactionally so
@@ -166,7 +194,7 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 void
 Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 {
-    ctx.advance(config_.machine.txEndCost);
+    ctx.advance(txEndCost_);
     ctx.sync();
     tx.checkDoom();
 
@@ -231,7 +259,7 @@ Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
     tx.status_ = TxStatus::inactive;
     tx.suspended_ = false;
 
-    ctx.advance(config_.machine.txAbortCost);
+    ctx.advance(txAbortCost_);
     ctx.sync();
 }
 
@@ -280,7 +308,7 @@ Runtime::attempt(Tx& tx, sim::ThreadContext& ctx,
 }
 
 // --------------------------------------------------------------------
-// Retry drivers
+// Attempt drivers
 // --------------------------------------------------------------------
 
 void
@@ -336,90 +364,35 @@ void
 Runtime::runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
                         FunctionRef<void(Tx&)> body)
 {
-    tx.ctx_ = &ctx;
     acquireGlobalLock(ctx);
-    tx.status_ = TxStatus::irrevocable;
-    body(tx);
-    tx.status_ = TxStatus::inactive;
-    ++stats_[tx.tid_].irrevocableCommits;
+    {
+        IrrevocableScope scope(tx, ctx);
+        body(tx);
+        ++stats_[tx.tid_].irrevocableCommits;
+    }
+    // The lock release stays success-path-only on purpose: a body that
+    // throws out of irrevocable execution is a programming error (it
+    // cannot be rolled back), and holding the lock makes the stall
+    // visible instead of silently continuing unserialized. The scope
+    // guard above still restores the Tx status for the unwind.
     releaseGlobalLock(ctx);
 }
 
-void
-Runtime::runAtomic(sim::ThreadContext& ctx, FunctionRef<void(Tx&)> body)
-{
-    if (config_.machine.vendor == Vendor::blueGeneQ)
-        runAtomicBgq(ctx, body);
-    else
-        runAtomicFig1(ctx, body);
-}
-
-void
-Runtime::runAtomicFig1(sim::ThreadContext& ctx,
-                       FunctionRef<void(Tx&)> body)
+AbortCause
+Runtime::runPolicyAttempts(sim::ThreadContext& ctx, RetryPolicy& policy,
+                           FunctionRef<void(Tx&)> body)
 {
     Tx& tx = *txs_[ctx.id()];
-    int lock_retries = config_.retry.lockRetries;
-    int persistent_retries = config_.retry.persistentRetries;
-    int transient_retries = config_.retry.transientRetries;
-    unsigned consecutive = 0;
-
+    policy.beginSection();
     for (;;) {
-        waitToBegin(ctx);
-        const AbortCause cause = attempt(tx, ctx, body, false, true);
-        if (cause == AbortCause::none)
-            return;
-
-        ++consecutive;
-        const bool lock_held = lockWord_ != 0 ||
-                               cause == AbortCause::lockConflict;
-        bool retry;
-        if (lock_held) {
-            retry = --lock_retries > 0;
-        } else if (isPersistent(cause)) {
-            retry = --persistent_retries > 0;
-        } else {
-            retry = --transient_retries > 0;
-        }
-        if (retry) {
-            backoff(ctx, consecutive);
-            continue;
-        }
-        runIrrevocable(ctx, tx, body);
-        return;
-    }
-}
-
-void
-Runtime::runAtomicBgq(sim::ThreadContext& ctx,
-                      FunctionRef<void(Tx&)> body)
-{
-    Tx& tx = *txs_[ctx.id()];
-    const bool lazy = lazySubscription();
-
-    // Adaptation: a thread whose transactions recently kept falling
-    // back to the lock is not allowed to retry (Section 3).
-    double& score = bgqFallbackScore_[ctx.id()];
-    int retries = config_.bgqMaxRetries;
-    if (config_.bgqAdaptation && score > 2.5)
-        retries = 0;
-
-    unsigned consecutive = 0;
-    for (;;) {
-        waitToBegin(ctx);
-        const AbortCause cause = attempt(tx, ctx, body, lazy, true);
+        const AbortCause cause =
+            attempt(tx, ctx, body, lazySubscription_, true);
         if (cause == AbortCause::none) {
-            score *= 0.9;
-            return;
+            policy.onCommit();
+            return AbortCause::none;
         }
-        ++consecutive;
-        if (retries-- > 0) {
-            backoff(ctx, consecutive);
-            continue;
-        }
-        runIrrevocable(ctx, tx, body);
-        score = score * 0.9 + 1.0;
-        return;
+        if (!policy.onAbort(cause, lockWord_ != 0))
+            return cause;
     }
 }
 
@@ -472,12 +445,12 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
     tx.ctx_ = &ctx;
     try {
         tx.resetAttemptState();
-        ctx.advance(config_.machine.txBeginCost);
+        ctx.advance(txBeginCost_);
         ctx.sync();
         tx.status_ = TxStatus::rollbackOnly;
         body(tx);
 
-        ctx.advance(config_.machine.txEndCost);
+        ctx.advance(txEndCost_);
         ctx.sync();
         for (const std::uintptr_t addr : tx.writeLog_) {
             const Tx::WriteEntry* entry = tx.writeBuffer_.find(addr);
@@ -493,7 +466,7 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
         for (const auto& record : tx.speculativeAllocs_)
             NodePool::instance().free(record.ptr, record.bytes);
         tx.status_ = TxStatus::inactive;
-        ctx.advance(config_.machine.txAbortCost);
+        ctx.advance(txAbortCost_);
         ctx.sync();
         recordAbort(tx, abort.cause);
         return false;
@@ -504,20 +477,10 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
 // Machine services
 // --------------------------------------------------------------------
 
-bool
-Runtime::isPersistent(AbortCause cause) const
-{
-    // Intel and POWER8 report a persistence hint; the paper's runtime
-    // treats zEC12 capacity overflows as persistent in software
-    // (Section 3). Either way the same causes are persistent.
-    return cause == AbortCause::capacityOverflow ||
-           cause == AbortCause::wayConflict;
-}
-
 void
 Runtime::acquireSpecId(Tx& tx, sim::ThreadContext& ctx)
 {
-    if (config_.machine.speculationIds == 0)
+    if (specIdPool_ == 0)
         return;
 
     TxStats& stats = stats_[tx.tid_];

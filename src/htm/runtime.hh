@@ -1,14 +1,22 @@
 /**
  * @file
- * The HTM emulation runtime: machine model + conflict directory +
- * retry drivers + global-lock fallback + statistics.
+ * The HTM emulation runtime, layered (DESIGN.md Section 3):
+ *
+ *   RetryPolicy (retry_policy.hh)  — when to retry after an abort;
+ *   CapacityModel (capacity_model.hh) — per-machine footprint budgets;
+ *   TmBackend (backend.hh)         — what an atomic section *is*
+ *                                    (HTM / global lock / ideal HTM);
+ *   Runtime (this file)            — the machine substrate: conflict
+ *                                    directory, begin/commit/rollback,
+ *                                    global-lock fallback, statistics.
  *
  * One Runtime instance models one machine for one multi-threaded run.
  * Application threads (simulated threads) call atomic() to execute a
- * critical section; the runtime implements the paper's Figure 1 retry
- * mechanism (three counters: lock / persistent / transient) on zEC12,
- * Intel Core and POWER8, and the system-provided single-counter
- * mechanism with adaptation on Blue Gene/Q.
+ * critical section; the configured backend drives the attempts — the
+ * paper's Figure 1 retry mechanism (three counters: lock / persistent
+ * / transient) on zEC12, Intel Core and POWER8, and the
+ * system-provided single-counter mechanism with adaptation on
+ * Blue Gene/Q.
  */
 
 #ifndef HTMSIM_HTM_RUNTIME_HH
@@ -19,9 +27,12 @@
 #include <vector>
 
 #include "abort.hh"
+#include "backend.hh"
+#include "capacity_model.hh"
 #include "conflict_table.hh"
 #include "function_ref.hh"
 #include "machine.hh"
+#include "retry_policy.hh"
 #include "stats.hh"
 #include "tx.hh"
 #include "sim/scheduler.hh"
@@ -41,12 +52,22 @@ enum class ConflictPolicy : std::uint8_t
     olderWins,
 };
 
-/** Maximum retry counts of the Figure 1 mechanism (tuning knobs). */
-struct RetryCounts
+/** Blue Gene/Q-specific runtime knobs (Section 2.1 / Section 3). */
+struct BgqRuntimeConfig
 {
-    int lockRetries = 4;
-    int persistentRetries = 1;
-    int transientRetries = 8;
+    /** Execution mode: conflict granularity and L1 handling. */
+    BgqMode mode = BgqMode::shortRunning;
+    /** The system software's single retry counter (env variable). */
+    int maxRetries = 10;
+    /** Adaptation: stop retrying after frequent fallback. */
+    bool adaptation = true;
+};
+
+/** Intel Core-specific runtime knobs. */
+struct IntelRuntimeConfig
+{
+    /** Ablation switch for the adjacent-line prefetcher (Section 5.1). */
+    bool prefetchEnabled = true;
 };
 
 /** Everything configurable about one run. */
@@ -56,15 +77,14 @@ struct RuntimeConfig
     RetryCounts retry;
     ConflictPolicy policy = ConflictPolicy::attackerWins;
 
-    /** Blue Gene/Q execution mode (Section 2.1). */
-    BgqMode bgqMode = BgqMode::shortRunning;
-    /** Blue Gene/Q single retry counter (environment variable). */
-    int bgqMaxRetries = 10;
-    /** Blue Gene/Q adaptation: stop retrying after frequent fallback. */
-    bool bgqAdaptation = true;
+    /** How atomic() executes: best-effort HTM (the machines), the
+     *  global-lock-only baseline, or the ideal-HTM oracle. */
+    BackendKind backend = BackendKind::htm;
 
-    /** Ablation switch for the Intel adjacent-line prefetcher. */
-    bool prefetchEnabled = true;
+    /** Vendor-specific knobs (ignored on other machines). */
+    BgqRuntimeConfig bgq;
+    IntelRuntimeConfig intel;
+
     /** Record per-transaction footprints (Figures 10/11). */
     bool collectTrace = false;
     /** Disable capacity aborts (the paper's STM-based trace tool had
@@ -105,17 +125,17 @@ class Runtime
     Runtime& operator=(const Runtime&) = delete;
 
     /**
-     * Execute @p body atomically: transactionally with retries, then
-     * irrevocably under the global lock (best-effort HTM + fallback).
-     * The body may run many times; it must be idempotent apart from
-     * its Tx-mediated effects.
+     * Execute @p body atomically via the configured backend: by
+     * default transactionally with retries, then irrevocably under the
+     * global lock (best-effort HTM + fallback). The body may run many
+     * times; it must be idempotent apart from its Tx-mediated effects.
      */
     template <typename F>
     void
     atomic(sim::ThreadContext& ctx, F&& body)
     {
         FunctionRef<void(Tx&)> ref(body);
-        runAtomic(ctx, ref);
+        backend_->runAtomic(*this, ctx, ref);
     }
 
     /**
@@ -146,6 +166,21 @@ class Runtime
     }
 
     /**
+     * Transactional attempts driven by a caller-owned RetryPolicy,
+     * WITHOUT the lemming-effect wait, backoff, or lock fallback —
+     * the caller owns the fallback path (lock-free retry loops, HLE).
+     * @return AbortCause::none once an attempt commits, or the final
+     * abort cause once the policy stops retrying.
+     */
+    template <typename F>
+    AbortCause
+    tryAtomic(sim::ThreadContext& ctx, RetryPolicy& policy, F&& body)
+    {
+        FunctionRef<void(Tx&)> ref(body);
+        return runPolicyAttempts(ctx, policy, ref);
+    }
+
+    /**
      * Plain transactional attempt without any retry logic or lock
      * fallback. @return the abort cause, or AbortCause::none on
      * commit. Building block for HLE and custom policies.
@@ -154,9 +189,8 @@ class Runtime
     AbortCause
     tryOnce(sim::ThreadContext& ctx, F&& body)
     {
-        FunctionRef<void(Tx&)> ref(body);
-        return attempt(txOf(ctx.id()), ctx, ref, lazySubscription(),
-                       true);
+        NoRetryPolicy policy;
+        return tryAtomic(ctx, policy, body);
     }
 
     /** Execute @p body under the global lock (irrevocably). */
@@ -216,17 +250,17 @@ class Runtime
      * Run @p body non-speculatively (direct accesses with strong
      * isolation) WITHOUT taking the global fallback lock. The caller
      * must provide mutual exclusion itself — this is the HLE
-     * lock-acquired path and the TLS in-order path.
+     * lock-acquired path and the TLS in-order path. Exception-safe:
+     * the irrevocable status is scoped to the body (and no commit is
+     * counted) even if it throws.
      */
     template <typename F>
     void
     runNonSpeculative(sim::ThreadContext& ctx, F&& body)
     {
         Tx& tx = txOf(ctx.id());
-        tx.ctx_ = &ctx;
-        tx.status_ = TxStatus::irrevocable;
+        IrrevocableScope scope(tx, ctx);
         body(tx);
-        tx.status_ = TxStatus::inactive;
         ++stats_[ctx.id()].irrevocableCommits;
     }
 
@@ -249,6 +283,9 @@ class Runtime
 
     const RuntimeConfig& config() const { return config_; }
     const MachineConfig& machine() const { return config_.machine; }
+
+    /** The execution backend atomic() dispatches to. */
+    BackendKind backendKind() const { return config_.backend; }
 
     /** Conflict-detection granularity in effect (mode-dependent on
      *  Blue Gene/Q: 8 B short-running, 64 B long-running). */
@@ -289,12 +326,11 @@ class Runtime
 
   private:
     friend class Tx;
+    friend class TmBackend;
 
-    void runAtomic(sim::ThreadContext& ctx, FunctionRef<void(Tx&)> body);
-    void runAtomicFig1(sim::ThreadContext& ctx,
-                       FunctionRef<void(Tx&)> body);
-    void runAtomicBgq(sim::ThreadContext& ctx,
-                      FunctionRef<void(Tx&)> body);
+    AbortCause runPolicyAttempts(sim::ThreadContext& ctx,
+                                 RetryPolicy& policy,
+                                 FunctionRef<void(Tx&)> body);
     void runConstrained(sim::ThreadContext& ctx,
                         FunctionRef<void(Tx&)> body);
     bool runRollbackOnly(sim::ThreadContext& ctx,
@@ -334,16 +370,6 @@ class Runtime
     /** Strong isolation for non-transactional accesses. */
     void nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write);
 
-    /** True if this machine/cause pair counts as persistent. */
-    bool isPersistent(AbortCause cause) const;
-
-    /** Blue Gene/Q long-running mode uses lazy lock subscription. */
-    bool lazySubscription() const
-    {
-        return config_.machine.vendor == Vendor::blueGeneQ &&
-               config_.bgqMode == BgqMode::longRunning;
-    }
-
     // Speculation-ID pool (Blue Gene/Q, Section 2.1).
     void acquireSpecId(Tx& tx, sim::ThreadContext& ctx);
     void releaseSpecId(Tx& tx);
@@ -357,7 +383,24 @@ class Runtime
     RuntimeConfig config_;
     unsigned conflictShift_;
     unsigned capacityShift_;
+
+    // Effective machine parameters, resolved once at construction from
+    // (machine preset, vendor mode, backend). The hot paths read these
+    // instead of re-deriving vendor special cases per access; the
+    // ideal-HTM backend zeroes the overheads and randomness here.
+    Cycles txBeginCost_ = 0;
+    Cycles txEndCost_ = 0;
+    Cycles txAbortCost_ = 0;
+    Cycles txLoadCost_ = 0;
+    Cycles txStoreCost_ = 0;
+    double prefetchProb_ = 0.0;
+    double cacheFetchProb_ = 0.0;
+    bool lazySubscription_ = false;
+    unsigned specIdPool_ = 0;
+
     std::unique_ptr<ConflictTable> table_;
+    std::unique_ptr<CapacityModel> capacityModel_;
+    std::unique_ptr<TmBackend> backend_;
     std::vector<std::unique_ptr<Tx>> txs_;
     std::vector<TxStats> stats_;
     TraceCollector trace_;
@@ -376,9 +419,6 @@ class Runtime
     // Speculation-ID pool state.
     unsigned freeSpecIds_ = 0;
     unsigned retiredSpecIds_ = 0;
-
-    // Blue Gene/Q adaptation state (per thread).
-    std::vector<double> bgqFallbackScore_;
 };
 
 } // namespace htmsim::htm

@@ -77,20 +77,17 @@ Tx::loadWord(const void* addr, std::size_t size)
     assert(status_ == TxStatus::active || status_ == TxStatus::doomed);
     runtime_->stats_[tid_].txLoads++;
 
-    Cycles cost = machine.txLoadCost;
-    if (machine.vendor == Vendor::blueGeneQ &&
-        runtime_->config().bgqMode == BgqMode::shortRunning) {
-        cost += machine.shortModeAccessExtra;
-    }
-    ctx_->advance(cost);
+    // Effective cost resolved at Runtime construction (Blue Gene/Q
+    // short-mode L1 bypass already folded in).
+    ctx_->advance(runtime_->txLoadCost_);
     ctx_->sync();
     checkDoom();
 
     if (constrained_ && ++opCount_ > constrainedMaxOps())
         throw std::logic_error("constrained tx exceeded operation limit");
 
-    if (machine.cacheFetchAbortProb > 0.0 &&
-        rng().nextBool(machine.cacheFetchAbortProb)) {
+    if (runtime_->cacheFetchProb_ > 0.0 &&
+        rng().nextBool(runtime_->cacheFetchProb_)) {
         selfAbort(AbortCause::cacheFetch);
     }
 
@@ -160,20 +157,15 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
     assert(status_ == TxStatus::active || status_ == TxStatus::doomed);
     runtime_->stats_[tid_].txStores++;
 
-    Cycles cost = machine.txStoreCost;
-    if (machine.vendor == Vendor::blueGeneQ &&
-        runtime_->config().bgqMode == BgqMode::shortRunning) {
-        cost += machine.shortModeAccessExtra;
-    }
-    ctx_->advance(cost);
+    ctx_->advance(runtime_->txStoreCost_);
     ctx_->sync();
     checkDoom();
 
     if (constrained_ && ++opCount_ > constrainedMaxOps())
         throw std::logic_error("constrained tx exceeded operation limit");
 
-    if (machine.cacheFetchAbortProb > 0.0 &&
-        rng().nextBool(machine.cacheFetchAbortProb)) {
+    if (runtime_->cacheFetchProb_ > 0.0 &&
+        rng().nextBool(runtime_->cacheFetchProb_)) {
         selfAbort(AbortCause::cacheFetch);
     }
 
@@ -255,12 +247,11 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
 void
 Tx::maybePrefetch(std::uintptr_t addr)
 {
-    const MachineConfig& machine = runtime_->machine();
-    if (machine.prefetchConflictProb <= 0.0 ||
-        !runtime_->config().prefetchEnabled) {
+    // Effective probability: zero unless the machine has the
+    // prefetcher, it is enabled, and the backend is not ideal.
+    if (runtime_->prefetchProb_ <= 0.0)
         return;
-    }
-    if (!rng().nextBool(machine.prefetchConflictProb))
+    if (!rng().nextBool(runtime_->prefetchProb_))
         return;
 
     // The adjacent-line prefetcher pulls the accessed line's 128-byte
@@ -287,7 +278,6 @@ Tx::maybePrefetch(std::uintptr_t addr)
 void
 Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
 {
-    const MachineConfig& machine = runtime_->machine();
     const std::uintptr_t line_number = addr >> runtime_->capacityShift_;
     std::uint8_t& flags = capacityLines_.insertOrFind(line_number);
 
@@ -304,8 +294,7 @@ Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
     }
     if (!new_load && !new_store)
         return;
-    if (runtime_->config().ignoreCapacity)
-        return;
+    // ROT loads are untracked: they occupy no TMCAM entries.
     if (status_ == TxStatus::rollbackOnly && new_load)
         return;
 
@@ -313,37 +302,14 @@ Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
     // shrinks with the number of concurrently transactional threads
     // on this core (Section 2, "resource sharing among SMT threads").
     const unsigned sharers = std::max(
-        1u, runtime_->activeTxOnCore(machine.coreOf(tid_)));
+        1u, runtime_->activeTxOnCore(runtime_->machine().coreOf(tid_)));
 
-    if (machine.combinedCapacity) {
-        const std::size_t budget =
-            std::max<std::size_t>(1, machine.loadCapacityLines() /
-                                         sharers);
-        if (capacityLines_.size() > budget)
-            selfAbort(AbortCause::capacityOverflow);
-    } else if (new_load) {
-        const std::size_t budget =
-            std::max<std::size_t>(1, machine.loadCapacityLines() /
-                                         sharers);
-        if (loadLines_ > budget)
-            selfAbort(AbortCause::capacityOverflow);
-    } else {
-        const std::size_t budget =
-            std::max<std::size_t>(1, machine.storeCapacityLines() /
-                                         sharers);
-        if (storeLines_ > budget)
-            selfAbort(AbortCause::capacityOverflow);
-    }
-
-    if (new_store && machine.storeSets > 0) {
-        // Intel: transactional stores must stay in the L1; a way
-        // conflict evicts a transactional line and aborts.
-        const unsigned set = unsigned(line_number) &
-                             (machine.storeSets - 1);
-        const unsigned ways_used = ++storeSetLines_.insertOrFind(set);
-        if (ways_used > std::max(1u, machine.storeWays / sharers))
-            selfAbort(AbortCause::wayConflict);
-    }
+    FootprintAccount account{capacityLines_.size(), loadLines_,
+                             storeLines_, &storeSetLines_};
+    const AbortCause cause = runtime_->capacityModel_->judgeNewLine(
+        line_number, new_store, sharers, account);
+    if (cause != AbortCause::none)
+        selfAbort(cause);
 }
 
 void

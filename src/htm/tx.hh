@@ -29,6 +29,7 @@
 namespace htmsim::htm
 {
 
+class IrrevocableScope;
 class Runtime;
 
 /** Lifecycle state of a transaction context. */
@@ -140,6 +141,7 @@ class Tx
     std::uint32_t storeLines() const { return storeLines_; }
 
   private:
+    friend class IrrevocableScope;
     friend class Runtime;
 
     /// Buffered speculative value for one word.
@@ -236,6 +238,36 @@ class Tx
 
     std::vector<AllocRecord> speculativeAllocs_;
     std::vector<AllocRecord> deferredFrees_;
+};
+
+/**
+ * RAII guard for irrevocable (non-speculative) execution of a Tx.
+ *
+ * Binds the thread context and flips the Tx to irrevocable mode for
+ * the guard's scope; the destructor restores it to inactive even when
+ * the body throws, so an exception can never leak a Tx stuck in
+ * irrevocable mode into the next atomic section. Every irrevocable
+ * path — the global-lock fallback, runLocked(), runNonSpeculative()
+ * — goes through this guard.
+ */
+class IrrevocableScope
+{
+  public:
+    IrrevocableScope(Tx& tx, sim::ThreadContext& ctx)
+        : tx_(tx)
+    {
+        assert(tx.status_ == TxStatus::inactive);
+        tx_.ctx_ = &ctx;
+        tx_.status_ = TxStatus::irrevocable;
+    }
+
+    ~IrrevocableScope() { tx_.status_ = TxStatus::inactive; }
+
+    IrrevocableScope(const IrrevocableScope&) = delete;
+    IrrevocableScope& operator=(const IrrevocableScope&) = delete;
+
+  private:
+    Tx& tx_;
 };
 
 } // namespace htmsim::htm

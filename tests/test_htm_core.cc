@@ -440,7 +440,7 @@ TEST(HtmQuirk, IntelPrefetchCausesExtraConflicts)
         machine.prefetchConflictProb = 0.5;
         machine.cacheFetchAbortProb = 0.0;
         RuntimeConfig config(machine);
-        config.prefetchEnabled = enabled;
+        config.intel.prefetchEnabled = enabled;
         sim::Scheduler scheduler;
         Runtime runtime(config, 2);
         static struct alignas(128) { std::uint64_t words[16]; } data;
@@ -492,10 +492,10 @@ TEST(HtmQuirk, BgqAbortsAreUnclassified)
 TEST(HtmQuirk, BgqGranularityDependsOnMode)
 {
     RuntimeConfig config = quietConfig(MachineConfig::blueGeneQ());
-    config.bgqMode = BgqMode::shortRunning;
+    config.bgq.mode = BgqMode::shortRunning;
     Runtime short_mode(config, 1);
     EXPECT_EQ(short_mode.effectiveGranularity(), 8u);
-    config.bgqMode = BgqMode::longRunning;
+    config.bgq.mode = BgqMode::longRunning;
     Runtime long_mode(config, 1);
     EXPECT_EQ(long_mode.effectiveGranularity(), 64u);
 }

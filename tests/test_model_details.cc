@@ -185,7 +185,7 @@ TEST(SmtModel, ScaledThreadRunsProportionallySlower)
 TEST(BgqLazySubscription, CommitFailsWhileLockHeld)
 {
     RuntimeConfig config = quiet(MachineConfig::blueGeneQ());
-    config.bgqMode = BgqMode::longRunning;
+    config.bgq.mode = BgqMode::longRunning;
     sim::Scheduler scheduler;
     Runtime runtime(config, 2);
     alignas(128) std::uint64_t a = 0;
@@ -336,6 +336,33 @@ TEST(Determinism, SameSeedSameMakespanAcrossMachines)
         // Same static buffer, same seed: identical virtual time.
         EXPECT_EQ(run_once(), run_once()) << machine.name;
     }
+}
+
+TEST(IrrevocableScope, NonSpeculativeBodyThrowRestoresStatus)
+{
+    RuntimeConfig config = quiet(MachineConfig::intelCore());
+    sim::Scheduler scheduler;
+    Runtime runtime(config, 1);
+    struct BodyError
+    {
+    };
+    std::uint64_t x = 0;
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        EXPECT_THROW(runtime.runNonSpeculative(
+                         ctx, [&](Tx&) { throw BodyError{}; }),
+                     BodyError);
+        // The guard must leave the Tx reusable: no irrevocable status
+        // leaks into the next section, which commits normally.
+        EXPECT_EQ(runtime.txOf(0).status(), TxStatus::inactive);
+        runtime.atomic(ctx, [&](Tx& tx) {
+            tx.store(&x, std::uint64_t(1));
+        });
+    });
+    scheduler.run();
+    EXPECT_EQ(x, 1u);
+    // The aborted non-speculative body must not count as a commit.
+    EXPECT_EQ(runtime.stats().irrevocableCommits, 0u);
+    EXPECT_EQ(runtime.stats().htmCommits, 1u);
 }
 
 } // namespace

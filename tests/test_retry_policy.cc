@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the retry-policy layer in isolation: scripted abort
+ * streams drive the policies directly — no Runtime, no Scheduler — and
+ * the tests assert the exact decision sequences of the paper's
+ * Figure 1 mechanism and Blue Gene/Q's system-software mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "htm/machine.hh"
+#include "htm/retry_policy.hh"
+#include "htm/runtime.hh"
+
+namespace
+{
+
+using namespace htmsim::htm;
+
+/// One scripted abort and the decision Figure 1 must emit for it.
+struct Step
+{
+    AbortCause cause;
+    bool lockHeld;
+    bool expectRetry;
+};
+
+struct Script
+{
+    std::string name;
+    RetryCounts counts;
+    std::vector<Step> steps;
+};
+
+void
+runScript(RetryPolicy& policy, const Script& script)
+{
+    policy.beginSection();
+    for (std::size_t i = 0; i < script.steps.size(); ++i) {
+        const Step& step = script.steps[i];
+        EXPECT_EQ(policy.onAbort(step.cause, step.lockHeld),
+                  step.expectRetry)
+            << script.name << ", abort " << i;
+    }
+}
+
+TEST(Fig1ThreeCounterPolicy, EmitsExactFigure1DecisionSequences)
+{
+    const AbortCause data = AbortCause::dataConflict;
+    const AbortCause lock = AbortCause::lockConflict;
+    const AbortCause capacity = AbortCause::capacityOverflow;
+    const AbortCause way = AbortCause::wayConflict;
+
+    const std::vector<Script> scripts = {
+        // Figure 1 line 13: the lock counter allows lockRetries
+        // attempts in total (the budget counts attempts, not retries).
+        {"pure lock-conflict stream",
+         {4, 1, 8},
+         {{lock, true, true},
+          {lock, true, true},
+          {lock, true, true},
+          {lock, true, false}}},
+        // A data conflict observed with the lock held is charged to
+        // the lock counter (the driver classifies by inspecting the
+        // lock, not the hardware cause).
+        {"data conflicts misattributed to the lock",
+         {2, 1, 8},
+         {{data, true, true}, {data, true, false}}},
+        // The default persistent budget of one means the second
+        // persistent abort gives up at once.
+        {"persistent aborts exhaust a budget of one",
+         {4, 1, 8},
+         {{capacity, false, false}}},
+        {"way conflicts count as persistent",
+         {4, 2, 8},
+         {{way, false, true}, {capacity, false, false}}},
+        {"transient budget of eight",
+         {4, 1, 8},
+         {{data, false, true},
+          {data, false, true},
+          {data, false, true},
+          {data, false, true},
+          {data, false, true},
+          {data, false, true},
+          {data, false, true},
+          {data, false, false}}},
+        // The three counters are independent: draining one leaves the
+        // others untouched.
+        {"counters are independent",
+         {2, 2, 2},
+         {{lock, true, true},
+          {capacity, false, true},
+          {data, false, true},
+          {lock, false, false}}},
+    };
+
+    for (const Script& script : scripts) {
+        Fig1ThreeCounterPolicy policy(script.counts);
+        runScript(policy, script);
+    }
+}
+
+TEST(Fig1ThreeCounterPolicy, BeginSectionRestoresAllBudgets)
+{
+    Fig1ThreeCounterPolicy policy({2, 1, 2});
+    EXPECT_TRUE(policy.onAbort(AbortCause::lockConflict, true));
+    EXPECT_FALSE(policy.onAbort(AbortCause::lockConflict, true));
+
+    policy.beginSection();
+    EXPECT_TRUE(policy.onAbort(AbortCause::lockConflict, true));
+    EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false));
+    EXPECT_FALSE(policy.onAbort(AbortCause::capacityOverflow, false));
+}
+
+TEST(BgqAdaptivePolicy, RetriesExactlyMaxRetriesTimes)
+{
+    BgqAdaptivePolicy policy(10, true, BgqMode::shortRunning);
+    policy.beginSection();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false))
+            << "abort " << i;
+    }
+    EXPECT_FALSE(policy.onAbort(AbortCause::dataConflict, false));
+}
+
+TEST(BgqAdaptivePolicy, AdaptationSuppressesRetriesAfterFallbacks)
+{
+    BgqAdaptivePolicy policy(10, true, BgqMode::shortRunning);
+
+    // Three consecutive fallbacks: score 1.0 -> 1.9 -> 2.71, crossing
+    // the 2.5 threshold on the third.
+    for (int section = 0; section < 3; ++section) {
+        policy.beginSection();
+        EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false))
+            << "section " << section
+            << " should still retry before adaptation kicks in";
+        policy.onFallback();
+    }
+
+    // The next section is not allowed a single retry.
+    policy.beginSection();
+    EXPECT_FALSE(policy.onAbort(AbortCause::dataConflict, false));
+    policy.onFallback();
+
+    // Commits decay the score (3.439 -> 3.095 -> 2.786 -> 2.507 ->
+    // 2.256); once it drops below the threshold, retries come back.
+    for (int commit = 0; commit < 4; ++commit)
+        policy.onCommit();
+    policy.beginSection();
+    EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false));
+}
+
+TEST(BgqAdaptivePolicy, AdaptationCanBeDisabled)
+{
+    BgqAdaptivePolicy policy(2, false, BgqMode::shortRunning);
+    for (int section = 0; section < 5; ++section) {
+        policy.beginSection();
+        EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false));
+        policy.onFallback();
+    }
+}
+
+TEST(BgqAdaptivePolicy, LazySubscriptionFollowsExecutionMode)
+{
+    const BgqAdaptivePolicy short_mode(10, true, BgqMode::shortRunning);
+    const BgqAdaptivePolicy long_mode(10, true, BgqMode::longRunning);
+    EXPECT_FALSE(short_mode.lazySubscription());
+    EXPECT_TRUE(long_mode.lazySubscription());
+}
+
+TEST(BoundedRetryPolicy, BudgetCountsTotalAttempts)
+{
+    BoundedRetryPolicy single(1);
+    single.beginSection();
+    EXPECT_FALSE(single.onAbort(AbortCause::dataConflict, false));
+
+    BoundedRetryPolicy three(3);
+    three.beginSection();
+    EXPECT_TRUE(three.onAbort(AbortCause::dataConflict, false));
+    EXPECT_TRUE(three.onAbort(AbortCause::capacityOverflow, true));
+    EXPECT_FALSE(three.onAbort(AbortCause::dataConflict, false));
+}
+
+TEST(NoRetryPolicy, NeverRetries)
+{
+    NoRetryPolicy policy;
+    policy.beginSection();
+    EXPECT_FALSE(policy.onAbort(AbortCause::dataConflict, false));
+    EXPECT_FALSE(policy.onAbort(AbortCause::lockConflict, true));
+}
+
+TEST(MakeRetryPolicy, SelectsTheMachineMechanism)
+{
+    RuntimeConfig bgq(MachineConfig::blueGeneQ());
+    bgq.bgq.mode = BgqMode::longRunning;
+    const std::unique_ptr<RetryPolicy> bgq_policy = makeRetryPolicy(bgq);
+    EXPECT_TRUE(bgq_policy->lazySubscription());
+
+    // Figure 1 on the other machines: the persistent budget of one is
+    // observable without any simulator.
+    RuntimeConfig intel(MachineConfig::intelCore());
+    intel.retry = {4, 1, 8};
+    const std::unique_ptr<RetryPolicy> fig1 = makeRetryPolicy(intel);
+    fig1->beginSection();
+    EXPECT_FALSE(fig1->onAbort(AbortCause::capacityOverflow, false));
+    EXPECT_FALSE(fig1->lazySubscription());
+}
+
+} // namespace
