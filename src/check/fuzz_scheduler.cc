@@ -1,0 +1,119 @@
+#include "fuzz_scheduler.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace htmsim::check
+{
+
+std::string
+formatSchedule(const Schedule& schedule)
+{
+    std::string result;
+    char buffer[64];
+    for (const PreemptPoint& point : schedule) {
+        std::snprintf(buffer, sizeof(buffer), "%s%u:%llu:%llu",
+                      result.empty() ? "" : ",", point.tid,
+                      (unsigned long long) point.index,
+                      (unsigned long long) point.delay);
+        result += buffer;
+    }
+    return result;
+}
+
+Schedule
+parseSchedule(const std::string& text)
+{
+    Schedule schedule;
+    std::size_t position = 0;
+    while (position < text.size()) {
+        unsigned tid = 0;
+        unsigned long long index = 0;
+        unsigned long long delay = 0;
+        int consumed = 0;
+        if (std::sscanf(text.c_str() + position, "%u:%llu:%llu%n",
+                        &tid, &index, &delay, &consumed) != 3) {
+            throw std::invalid_argument("bad schedule entry near '" +
+                                        text.substr(position) + "'");
+        }
+        schedule.push_back({tid, index, sim::Cycles(delay)});
+        position += std::size_t(consumed);
+        if (position < text.size()) {
+            if (text[position] != ',')
+                throw std::invalid_argument("expected ',' in schedule");
+            ++position;
+        }
+    }
+    return schedule;
+}
+
+FuzzScheduler::FuzzScheduler(std::uint64_t seed, FuzzOptions options)
+    : replayMode_(false), seed_(seed), options_(options)
+{
+}
+
+FuzzScheduler::FuzzScheduler(Schedule schedule)
+    : replayMode_(true), replay_(std::move(schedule))
+{
+    // Sorting by (tid, index) lets preemptDelay binary-search.
+    std::sort(replay_.begin(), replay_.end(),
+              [](const PreemptPoint& a, const PreemptPoint& b) {
+                  return a.tid != b.tid ? a.tid < b.tid
+                                        : a.index < b.index;
+              });
+}
+
+FuzzScheduler::ThreadStream&
+FuzzScheduler::streamOf(unsigned tid)
+{
+    if (streams_.size() <= tid)
+        streams_.resize(tid + 1);
+    ThreadStream& stream = streams_[tid];
+    if (stream.nextIndex == 0 && !replayMode_) {
+        // Stream state depends on (seed, tid) only: decisions at a
+        // thread's k-th point are interleaving-independent. 0x5eed...
+        // offsets the stream ids away from the Scheduler's own.
+        stream.rng = sim::Rng(seed_ ^ 0x5eedf022dULL, tid + 101);
+    }
+    return stream;
+}
+
+sim::Cycles
+FuzzScheduler::preemptDelay(unsigned tid, sim::Cycles)
+{
+    ThreadStream& stream = streamOf(tid);
+    const std::uint64_t index = stream.nextIndex++;
+    ++pointsVisited_;
+
+    if (replayMode_) {
+        const auto it = std::lower_bound(
+            replay_.begin(), replay_.end(),
+            PreemptPoint{tid, index, 0},
+            [](const PreemptPoint& a, const PreemptPoint& b) {
+                return a.tid != b.tid ? a.tid < b.tid
+                                      : a.index < b.index;
+            });
+        if (it == replay_.end() || it->tid != tid ||
+            it->index != index) {
+            return 0;
+        }
+        fired_.push_back(*it);
+        return it->delay;
+    }
+
+    if (!stream.rng.nextBool(options_.preemptProb)) {
+        // Keep the draw count per point fixed (one Bernoulli + one
+        // range draw) so fired and unfired points consume the same
+        // amount of stream — replaying subsets stays aligned.
+        stream.rng.nextU64();
+        return 0;
+    }
+    const sim::Cycles span = options_.maxDelay - options_.minDelay + 1;
+    const sim::Cycles delay =
+        options_.minDelay + stream.rng.nextRange(span);
+    fired_.push_back({tid, index, delay});
+    return delay;
+}
+
+} // namespace htmsim::check

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Seeded schedule fuzzing for the simulator (simcheck).
+ *
+ * The deterministic scheduler always resumes the earliest-virtual-time
+ * thread, so one workload explores exactly one interleaving. The
+ * FuzzScheduler plugs into the SchedulePerturber hook and, at seeded
+ * random scheduling points, charges the running thread a random delay.
+ * Because every globally visible event — transactional loads/stores,
+ * begin/commit boundaries, lock-fallback acquisition spins — sits
+ * behind a scheduling point, each seed explores a distinct but fully
+ * reproducible interleaving.
+ *
+ * Two modes:
+ *  - fuzz(seed): per-thread xoshiro streams derived from the seed
+ *    decide where to fire and how long to delay; every fired point is
+ *    recorded as a (tid, per-thread point index, delay) triple;
+ *  - replay(schedule): fire exactly the given triples — replaying the
+ *    full recorded schedule reproduces the fuzzed run bit-for-bit,
+ *    and replaying a subset is what the shrinker (shrink.hh) uses to
+ *    minimize a failing schedule.
+ */
+
+#ifndef HTMSIM_CHECK_FUZZ_SCHEDULER_HH
+#define HTMSIM_CHECK_FUZZ_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::check
+{
+
+/** One injected preemption: thread @p tid's @p index-th scheduling
+ *  point was delayed by @p delay cycles. */
+struct PreemptPoint
+{
+    unsigned tid;
+    std::uint64_t index;
+    sim::Cycles delay;
+
+    bool
+    operator==(const PreemptPoint& other) const
+    {
+        return tid == other.tid && index == other.index &&
+               delay == other.delay;
+    }
+};
+
+/** A set of injected preemptions (one fuzzed run's perturbation). */
+using Schedule = std::vector<PreemptPoint>;
+
+/** Render a schedule as the replayable "tid:index:delay,..." form
+ *  accepted by check_runner --schedule. */
+std::string formatSchedule(const Schedule& schedule);
+
+/** Parse the --schedule form; throws std::invalid_argument on junk. */
+Schedule parseSchedule(const std::string& text);
+
+/** Fuzzing knobs. */
+struct FuzzOptions
+{
+    /** Probability of firing at any one scheduling point. */
+    double preemptProb = 0.05;
+    /** Injected delays are uniform in [minDelay, maxDelay] cycles.
+     *  The ceiling must comfortably exceed per-event costs (tens to
+     *  ~150 cycles) so a delayed thread's next event can be overtaken
+     *  by whole peer transactions. */
+    sim::Cycles minDelay = 50;
+    sim::Cycles maxDelay = 4000;
+};
+
+/**
+ * The SchedulePerturber implementation simcheck runs under.
+ *
+ * Per-thread decision streams are derived from (seed, tid) only, so a
+ * thread's k-th scheduling point receives the same decision no matter
+ * how the global interleaving unfolds — which is what makes replaying
+ * a full fired schedule exact.
+ */
+class FuzzScheduler final : public sim::SchedulePerturber
+{
+  public:
+    /** Fuzz mode: decisions drawn from @p seed. */
+    FuzzScheduler(std::uint64_t seed, FuzzOptions options);
+
+    /** Replay mode: fire exactly @p schedule, nothing else. */
+    explicit FuzzScheduler(Schedule schedule);
+
+    sim::Cycles preemptDelay(unsigned tid, sim::Cycles now) override;
+
+    /** Points that fired so far (fuzz mode records; replay echoes). */
+    const Schedule& fired() const { return fired_; }
+
+    /** Scheduling points visited so far, across all threads. */
+    std::uint64_t pointsVisited() const { return pointsVisited_; }
+
+  private:
+    struct ThreadStream
+    {
+        sim::Rng rng;
+        std::uint64_t nextIndex = 0;
+    };
+
+    ThreadStream& streamOf(unsigned tid);
+
+    bool replayMode_;
+    std::uint64_t seed_ = 0;
+    FuzzOptions options_;
+    Schedule replay_;
+    Schedule fired_;
+    std::vector<ThreadStream> streams_;
+    std::uint64_t pointsVisited_ = 0;
+};
+
+} // namespace htmsim::check
+
+#endif // HTMSIM_CHECK_FUZZ_SCHEDULER_HH

@@ -1,0 +1,192 @@
+#include "oracle.hh"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "check/trace.hh"
+#include "htm/backend.hh"
+#include "htm/context.hh"
+#include "htm/tx.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::check
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t value)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                  (unsigned long long) value);
+    return buffer;
+}
+
+/** Records the event ring plus the global commit order. Observer
+ *  callbacks fire in virtual-time order, so the sequence of
+ *  commit/fallbackCommit events IS the serialization order the HTM
+ *  model claims for this run. */
+class CheckObserver final : public htm::TxObserver
+{
+  public:
+    explicit CheckObserver(std::size_t ring_capacity)
+        : ring(ring_capacity)
+    {
+    }
+
+    void
+    onEvent(const htm::TxEvent& event) override
+    {
+        ring.onEvent(event);
+        if (event.kind == htm::TxEventKind::commit ||
+            event.kind == htm::TxEventKind::fallbackCommit) {
+            commitOrder.push_back(event.tid);
+        }
+    }
+
+    EventRing ring;
+    std::vector<unsigned> commitOrder;
+};
+
+} // namespace
+
+RunOutcome
+runDifferential(const WorkloadFactory& workload,
+                const htm::MachineConfig& machine, std::uint64_t seed,
+                const CheckOptions& options, const Schedule* replay)
+{
+    const unsigned threads = options.threads;
+    const unsigned ops = options.opsPerThread;
+    // Decouple the workload's op streams from the fuzzing seed so a
+    // seed sweep varies the interleaving *and* the op mix, yet both
+    // phases of one run agree on the ops.
+    const std::uint64_t workload_seed =
+        seed * 0x9e3779b97f4a7c15ULL + 0x51;
+
+    RunOutcome outcome;
+    const auto fail = [&outcome](std::string reason) {
+        outcome.ok = false;
+        outcome.reason = std::move(reason);
+        return outcome;
+    };
+
+    // --- Phase 1: concurrent run under the fuzzed HTM model. ---
+    std::unique_ptr<CheckWorkload> concurrent =
+        workload.make(workload_seed, threads, ops);
+
+    sim::Scheduler scheduler(seed);
+    std::unique_ptr<FuzzScheduler> fuzz;
+    if (replay != nullptr)
+        fuzz = std::make_unique<FuzzScheduler>(*replay);
+    else
+        fuzz = std::make_unique<FuzzScheduler>(seed, options.fuzz);
+    scheduler.setPerturber(fuzz.get());
+
+    htm::RuntimeConfig config(machine);
+    config.checkFault = options.fault;
+    htm::Runtime runtime(config, threads);
+    CheckObserver observer(options.ringCapacity);
+    runtime.setObserver(&observer);
+
+    std::vector<std::vector<std::uint64_t>> results(
+        threads, std::vector<std::uint64_t>(ops, 0));
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        scheduler.spawn([&, tid](sim::ThreadContext& ctx) {
+            for (unsigned i = 0; i < ops; ++i) {
+                std::uint64_t result = 0;
+                runtime.atomic(ctx, [&](htm::Tx& tx) {
+                    result = concurrent->apply(tx, tid, i);
+                });
+                results[tid][i] = result;
+            }
+        });
+    }
+    try {
+        scheduler.run();
+    } catch (const std::exception& error) {
+        outcome.fired = fuzz->fired();
+        return fail(std::string("concurrent run raised: ") +
+                    error.what());
+    }
+
+    outcome.fired = fuzz->fired();
+    outcome.commits = observer.commitOrder.size();
+    if (observer.ring.dropped() == 0)
+        outcome.traceTail = formatTrace(observer.ring.events());
+
+    // --- Phase 2: in-flight invariants over the event trace. ---
+    if (observer.ring.dropped() == 0) {
+        const std::string error =
+            checkTraceInvariants(observer.ring.events(), threads);
+        if (!error.empty())
+            return fail("trace invariant violated: " + error);
+    }
+
+    // --- Phase 3: exactly-once completeness. ---
+    if (observer.commitOrder.size() !=
+        std::uint64_t(threads) * ops) {
+        return fail(
+            "commit count mismatch: observed " +
+            std::to_string(observer.commitOrder.size()) +
+            " commits for " + std::to_string(threads) + "x" +
+            std::to_string(ops) + " operations");
+    }
+    std::vector<unsigned> per_thread(threads, 0);
+    for (const unsigned tid : observer.commitOrder) {
+        if (tid >= threads)
+            return fail("commit attributed to unknown thread t" +
+                        std::to_string(tid));
+        ++per_thread[tid];
+    }
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        if (per_thread[tid] != ops) {
+            return fail("t" + std::to_string(tid) + " committed " +
+                        std::to_string(per_thread[tid]) + " of " +
+                        std::to_string(ops) + " operations");
+        }
+    }
+
+    // --- Phase 4: serial replay in the observed commit order. ---
+    std::unique_ptr<CheckWorkload> reference =
+        workload.make(workload_seed, threads, ops);
+    htm::RuntimeConfig lock_config(machine);
+    lock_config.backend = htm::BackendKind::globalLock;
+    htm::Runtime lock_runtime(lock_config, 1);
+    sim::Scheduler serial(seed + 1);
+    std::vector<unsigned> cursor(threads, 0);
+    std::string divergence;
+    serial.spawn([&](sim::ThreadContext& ctx) {
+        for (const unsigned tid : observer.commitOrder) {
+            const unsigned i = cursor[tid]++;
+            std::uint64_t result = 0;
+            lock_runtime.atomic(ctx, [&](htm::Tx& tx) {
+                result = reference->apply(tx, tid, i);
+            });
+            if (divergence.empty() && result != results[tid][i]) {
+                divergence = "t" + std::to_string(tid) + " op " +
+                             std::to_string(i) +
+                             " returned " + hex(results[tid][i]) +
+                             " concurrently but " + hex(result) +
+                             " in the serial replay";
+            }
+        }
+    });
+    serial.run();
+    if (!divergence.empty())
+        return fail("serializability violated: " + divergence);
+
+    // --- Phase 5: final states must be identical. ---
+    const std::uint64_t got = concurrent->fingerprint();
+    const std::uint64_t want = reference->fingerprint();
+    if (got != want) {
+        return fail("final-state fingerprint mismatch: concurrent " +
+                    hex(got) + " vs serial replay " + hex(want));
+    }
+
+    return outcome;
+}
+
+} // namespace htmsim::check

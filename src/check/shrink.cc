@@ -1,0 +1,75 @@
+#include "shrink.hh"
+
+#include <cstddef>
+
+namespace htmsim::check
+{
+
+namespace
+{
+
+Schedule
+without(const Schedule& schedule, std::size_t start,
+        std::size_t count)
+{
+    Schedule candidate;
+    candidate.reserve(schedule.size() - count);
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (i < start || i >= start + count)
+            candidate.push_back(schedule[i]);
+    }
+    return candidate;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSchedule(const FailsPredicate& fails, Schedule failing,
+               unsigned max_evaluations)
+{
+    ShrinkResult result;
+    result.schedule = std::move(failing);
+
+    // Some injected faults fail even unperturbed; the empty schedule
+    // is then the minimal artifact.
+    if (result.evaluations < max_evaluations) {
+        ++result.evaluations;
+        if (fails(Schedule{})) {
+            result.schedule.clear();
+            return result;
+        }
+    }
+
+    std::size_t chunk = result.schedule.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (!result.schedule.empty() &&
+           result.evaluations < max_evaluations) {
+        bool removed_any = false;
+        for (std::size_t start = 0;
+             start < result.schedule.size() &&
+             result.evaluations < max_evaluations;) {
+            const std::size_t count =
+                std::min(chunk, result.schedule.size() - start);
+            Schedule candidate =
+                without(result.schedule, start, count);
+            ++result.evaluations;
+            if (fails(candidate)) {
+                result.schedule = std::move(candidate);
+                removed_any = true;
+                // Retry the same start: the next chunk slid into it.
+            } else {
+                start += count;
+            }
+        }
+        if (chunk == 1) {
+            if (!removed_any)
+                break;
+        } else {
+            chunk /= 2;
+        }
+    }
+    return result;
+}
+
+} // namespace htmsim::check

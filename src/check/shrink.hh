@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Greedy schedule shrinking (simcheck).
+ *
+ * A fuzzed failure typically fires dozens of preemption points, most
+ * of them irrelevant. shrinkSchedule() minimizes the set with a greedy
+ * delta-debugging pass: remove chunks (halving the chunk size down to
+ * single points) and keep any candidate subset that still fails. The
+ * result is a locally minimal schedule — removing any single remaining
+ * point makes the failure disappear — which is what gets printed as
+ * the replayable artifact.
+ *
+ * Subset replay is only approximately aligned with the original run
+ * (per-thread point indices shift as the interleaving changes), so the
+ * predicate re-runs the full oracle; a subset counts as "failing" only
+ * if the oracle actually fails under it, never by assumption.
+ */
+
+#ifndef HTMSIM_CHECK_SHRINK_HH
+#define HTMSIM_CHECK_SHRINK_HH
+
+#include <functional>
+
+#include "check/fuzz_scheduler.hh"
+
+namespace htmsim::check
+{
+
+/** Returns true when replaying @p schedule still reproduces the
+ *  failure. Must be deterministic. */
+using FailsPredicate = std::function<bool(const Schedule&)>;
+
+/** Result of a shrink pass. */
+struct ShrinkResult
+{
+    /** The minimized still-failing schedule. */
+    Schedule schedule;
+    /** Predicate evaluations spent. */
+    unsigned evaluations = 0;
+};
+
+/**
+ * Minimize @p failing (which the caller has verified to fail) under
+ * @p fails, spending at most @p max_evaluations predicate calls.
+ */
+ShrinkResult shrinkSchedule(const FailsPredicate& fails,
+                            Schedule failing,
+                            unsigned max_evaluations = 400);
+
+} // namespace htmsim::check
+
+#endif // HTMSIM_CHECK_SHRINK_HH

@@ -1,0 +1,120 @@
+#include "trace.hh"
+
+#include <cstdio>
+
+namespace htmsim::check
+{
+
+using htm::TxEvent;
+using htm::TxEventKind;
+
+namespace
+{
+
+std::string
+describe(const TxEvent& event)
+{
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "t%u %s%s%s @%llu", unsigned(event.tid),
+                  htm::txEventKindName(event.kind),
+                  event.kind == TxEventKind::abort ? " " : "",
+                  event.kind == TxEventKind::abort
+                      ? htm::abortCauseName(event.cause)
+                      : "",
+                  (unsigned long long) event.cycles);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+checkTraceInvariants(const std::vector<TxEvent>& events,
+                     unsigned num_threads)
+{
+    std::vector<bool> active(num_threads, false);
+    std::vector<sim::Cycles> lastCycles(num_threads, 0);
+    int lockHolder = -1;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TxEvent& event = events[i];
+        const unsigned tid = event.tid;
+        if (tid >= num_threads)
+            return "event #" + std::to_string(i) + " has tid " +
+                   std::to_string(tid) + " >= " +
+                   std::to_string(num_threads);
+        const std::string where =
+            " (event #" + std::to_string(i) + ": " + describe(event) +
+            ")";
+
+        if (event.cycles < lastCycles[tid])
+            return "per-thread virtual time went backwards" + where;
+        lastCycles[tid] = event.cycles;
+
+        switch (event.kind) {
+          case TxEventKind::begin:
+            if (active[tid])
+                return "nested begin without commit/abort" + where;
+            active[tid] = true;
+            break;
+          case TxEventKind::commit:
+            if (!active[tid])
+                return "commit without an active attempt" + where;
+            if (lockHolder >= 0)
+                return "transactional commit while t" +
+                       std::to_string(lockHolder) +
+                       " holds the fallback lock" + where;
+            active[tid] = false;
+            break;
+          case TxEventKind::abort:
+            if (!active[tid])
+                return "abort without an active attempt" + where;
+            active[tid] = false;
+            break;
+          case TxEventKind::lockAcquired:
+            if (lockHolder >= 0)
+                return "lock acquired while t" +
+                       std::to_string(lockHolder) + " holds it" + where;
+            if (active[tid])
+                return "lock acquired with a live transactional "
+                       "attempt" + where;
+            lockHolder = int(tid);
+            break;
+          case TxEventKind::lockReleased:
+            if (lockHolder != int(tid))
+                return "lock released by a non-holder" + where;
+            lockHolder = -1;
+            break;
+          case TxEventKind::fallbackCommit:
+            if (lockHolder != int(tid))
+                return "fallback commit without holding the lock" +
+                       where;
+            break;
+        }
+    }
+
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+        if (active[tid])
+            return "t" + std::to_string(tid) +
+                   " left an attempt open at end of run";
+    }
+    if (lockHolder >= 0)
+        return "t" + std::to_string(lockHolder) +
+               " left the fallback lock held at end of run";
+    return "";
+}
+
+std::string
+formatTrace(const std::vector<TxEvent>& events, std::size_t tail)
+{
+    std::string result;
+    const std::size_t first =
+        events.size() > tail ? events.size() - tail : 0;
+    if (first > 0)
+        result += "... (" + std::to_string(first) + " earlier)\n";
+    for (std::size_t i = first; i < events.size(); ++i)
+        result += "  " + describe(events[i]) + "\n";
+    return result;
+}
+
+} // namespace htmsim::check

@@ -1,0 +1,523 @@
+#include "workload.hh"
+
+#include "htm/context.hh"
+#include "htm/tx.hh"
+#include "sim/random.hh"
+#include "stamp/kernels.hh"
+#include "tmds/tm_bitmap.hh"
+#include "tmds/tm_hashtable.hh"
+#include "tmds/tm_heap.hh"
+#include "tmds/tm_list.hh"
+#include "tmds/tm_queue.hh"
+#include "tmds/tm_rbtree.hh"
+
+namespace htmsim::check
+{
+
+namespace
+{
+
+/** One precomputed operation: a kind plus two operands. */
+struct Op
+{
+    std::uint32_t kind;
+    std::uint64_t a;
+    std::uint64_t b;
+};
+
+/** Shared op-table plumbing: per-thread streams from (seed, tid). */
+class TableWorkload : public CheckWorkload
+{
+  protected:
+    template <typename Gen>
+    void
+    buildOps(std::uint64_t seed, unsigned threads,
+             unsigned ops_per_thread, Gen&& gen)
+    {
+        ops_.resize(threads);
+        for (unsigned tid = 0; tid < threads; ++tid) {
+            sim::Rng rng(seed, tid + 1);
+            ops_[tid].reserve(ops_per_thread);
+            for (unsigned i = 0; i < ops_per_thread; ++i)
+                ops_[tid].push_back(gen(rng));
+        }
+    }
+
+    const Op&
+    opAt(unsigned tid, unsigned op) const
+    {
+        return ops_[tid][op];
+    }
+
+  private:
+    std::vector<std::vector<Op>> ops_;
+};
+
+// Result encodings give each op kind a distinct tag in the top byte so
+// a replay mismatch identifies the operation, and fold any loaded
+// value into the low bits so stale reads are visible.
+constexpr std::uint64_t
+tagged(std::uint64_t tag, std::uint64_t value)
+{
+    return (tag << 56) | (value & 0x00ffffffffffffffULL);
+}
+
+/** Mixed insert/remove/find/update over a small, collision-heavy
+ *  chained hash table. */
+class HashTableWorkload final : public TableWorkload
+{
+  public:
+    HashTableWorkload(std::uint64_t seed, unsigned threads,
+                      unsigned ops_per_thread)
+        : table_(16)
+    {
+        htm::DirectContext d;
+        for (std::uint64_t key = 0; key < keyRange; key += 2)
+            table_.insert(d, key, key * 3 + 1);
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t key = rng.nextRange(keyRange);
+            const std::uint64_t value = rng.nextRange(1000);
+            if (pick < 35)
+                return Op{0, key, value};
+            if (pick < 60)
+                return Op{1, key, 0};
+            if (pick < 85)
+                return Op{2, key, 0};
+            return Op{3, key, value};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        switch (o.kind) {
+          case 0:
+            return tagged(0x1, table_.insert(tx, o.a, o.b));
+          case 1:
+            return tagged(0x2, table_.remove(tx, o.a));
+          case 2: {
+            std::uint64_t value = 0;
+            const bool found = table_.find(tx, o.a, &value);
+            return tagged(0x3, found ? value + 1 : 0);
+          }
+          default:
+            return tagged(0x4, table_.update(tx, o.a, o.b));
+        }
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        table_.forEach(d, [&](std::uint64_t key, std::uint64_t value) {
+            h = foldHash(h, key);
+            h = foldHash(h, value);
+        });
+        return foldHash(h, table_.size(d));
+    }
+
+  private:
+    static constexpr std::uint64_t keyRange = 24;
+    tmds::TmHashTable<> table_;
+};
+
+/** Mixed ops over the red-black tree, including range queries. */
+class RbTreeWorkload final : public TableWorkload
+{
+  public:
+    RbTreeWorkload(std::uint64_t seed, unsigned threads,
+                   unsigned ops_per_thread)
+    {
+        htm::DirectContext d;
+        for (std::uint64_t key = 0; key < keyRange; key += 2)
+            tree_.insert(d, key, key + 100);
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t key = rng.nextRange(keyRange);
+            const std::uint64_t value = rng.nextRange(1000);
+            if (pick < 30)
+                return Op{0, key, value};
+            if (pick < 55)
+                return Op{1, key, 0};
+            if (pick < 80)
+                return Op{2, key, 0};
+            return Op{3, key, 0};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        switch (o.kind) {
+          case 0:
+            return tagged(0x1, tree_.insert(tx, o.a, o.b));
+          case 1:
+            return tagged(0x2, tree_.remove(tx, o.a));
+          case 2: {
+            std::uint64_t value = 0;
+            const bool found = tree_.find(tx, o.a, &value);
+            return tagged(0x3, found ? value + 1 : 0);
+          }
+          default: {
+            std::uint64_t key = 0;
+            std::uint64_t value = 0;
+            const bool found =
+                tree_.findCeiling(tx, o.a, &key, &value);
+            return tagged(0x4,
+                          found ? (key << 16) ^ (value + 1) : 0);
+          }
+        }
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        tree_.forEach(d, [&](std::uint64_t key, std::uint64_t value) {
+            h = foldHash(h, key);
+            h = foldHash(h, value);
+        });
+        return foldHash(h, tree_.size(d));
+    }
+
+  private:
+    static constexpr std::uint64_t keyRange = 32;
+    tmds::TmRbTree tree_;
+};
+
+/** Hot sorted list: long shared traversals, frequent structural
+ *  updates — the highest-conflict workload in the registry. */
+class ListWorkload final : public TableWorkload
+{
+  public:
+    ListWorkload(std::uint64_t seed, unsigned threads,
+                 unsigned ops_per_thread)
+    {
+        htm::DirectContext d;
+        for (std::uint64_t key = 0; key < keyRange; key += 2)
+            list_.insert(d, key, key + 7);
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t key = rng.nextRange(keyRange);
+            const std::uint64_t value = rng.nextRange(1000);
+            if (pick < 30)
+                return Op{0, key, value};
+            if (pick < 55)
+                return Op{1, key, 0};
+            if (pick < 85)
+                return Op{2, key, 0};
+            return Op{3, 0, 0};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        switch (o.kind) {
+          case 0:
+            return tagged(0x1, list_.insert(tx, o.a, o.b));
+          case 1:
+            return tagged(0x2, list_.remove(tx, o.a));
+          case 2: {
+            std::uint64_t value = 0;
+            const bool found = list_.find(tx, o.a, &value);
+            return tagged(0x3, found ? value + 1 : 0);
+          }
+          default: {
+            std::uint64_t key = 0;
+            std::uint64_t value = 0;
+            const bool popped = list_.popFront(tx, &key, &value);
+            return tagged(0x4,
+                          popped ? (key << 16) ^ (value + 1) : 0);
+          }
+        }
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        list_.forEach(d, [&](std::uint64_t key, std::uint64_t value) {
+            h = foldHash(h, key);
+            h = foldHash(h, value);
+        });
+        return foldHash(h, list_.size(d));
+    }
+
+  private:
+    static constexpr std::uint64_t keyRange = 12;
+    tmds::TmList<> list_;
+};
+
+/** Producer/consumer mix over the growable ring queue; the tiny
+ *  initial capacity forces in-transaction grows. */
+class QueueWorkload final : public TableWorkload
+{
+  public:
+    QueueWorkload(std::uint64_t seed, unsigned threads,
+                  unsigned ops_per_thread)
+        : queue_(4)
+    {
+        htm::DirectContext d;
+        for (std::uint64_t item = 1; item <= 2; ++item)
+            queue_.push(d, item * 11);
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t value = 1 + rng.nextRange(1000);
+            if (pick < 55)
+                return Op{0, value, 0};
+            return Op{1, 0, 0};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        if (o.kind == 0) {
+            queue_.push(tx, o.a);
+            return tagged(0x1, queue_.size(tx));
+        }
+        std::uint64_t value = 0;
+        const bool popped = queue_.pop(tx, &value);
+        return tagged(0x2, popped ? value + 1 : 0);
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        queue_.forEach(d,
+                       [&](std::uint64_t item) { h = foldHash(h, item); });
+        return foldHash(h, queue_.size(d));
+    }
+
+  private:
+    tmds::TmQueue queue_;
+};
+
+/** Priority-queue mix over the array heap. */
+class HeapWorkload final : public TableWorkload
+{
+  public:
+    HeapWorkload(std::uint64_t seed, unsigned threads,
+                 unsigned ops_per_thread)
+        : heap_(4)
+    {
+        htm::DirectContext d;
+        for (std::uint64_t item = 1; item <= 3; ++item)
+            heap_.insert(d, item * 17);
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t value = 1 + rng.nextRange(1000);
+            if (pick < 55)
+                return Op{0, value, 0};
+            return Op{1, 0, 0};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        if (o.kind == 0) {
+            heap_.insert(tx, o.a);
+            return tagged(0x1, heap_.size(tx));
+        }
+        std::uint64_t value = 0;
+        const bool popped = heap_.popMax(tx, &value);
+        return tagged(0x2, popped ? value + 1 : 0);
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        heap_.forEach(d,
+                      [&](std::uint64_t item) { h = foldHash(h, item); });
+        return foldHash(h, heap_.size(d));
+    }
+
+  private:
+    tmds::TmHeap<tmds::NumericCompare> heap_;
+};
+
+/** Set/clear/test over a bitmap: many threads collide on the same
+ *  backing words even when bit indices differ. */
+class BitmapWorkload final : public TableWorkload
+{
+  public:
+    BitmapWorkload(std::uint64_t seed, unsigned threads,
+                   unsigned ops_per_thread)
+        : bits_(numBits)
+    {
+        htm::DirectContext d;
+        for (std::size_t index = 0; index < numBits; index += 3)
+            bits_.set(d, index);
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t index = rng.nextRange(numBits);
+            if (pick < 40)
+                return Op{0, index, 0};
+            if (pick < 70)
+                return Op{1, index, 0};
+            return Op{2, index, 0};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        switch (o.kind) {
+          case 0:
+            return tagged(0x1, bits_.set(tx, o.a));
+          case 1:
+            return tagged(0x2, bits_.clear(tx, o.a));
+          default:
+            return tagged(0x3, bits_.isSet(tx, o.a));
+        }
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        for (std::size_t index = 0; index < numBits; ++index)
+            h = foldHash(h, bits_.isSet(d, index));
+        return h;
+    }
+
+  private:
+    static constexpr std::size_t numBits = 96;
+    tmds::TmBitmap bits_;
+};
+
+/** STAMP kmeans accumulator adds into a handful of shared clusters. */
+class KmeansWorkload final : public TableWorkload
+{
+  public:
+    KmeansWorkload(std::uint64_t seed, unsigned threads,
+                   unsigned ops_per_thread)
+        : kernel_(4, dims)
+    {
+        buildOps(seed, threads, ops_per_thread, [this](sim::Rng& rng) {
+            return Op{0, rng.nextRange(kernel_.clusters()),
+                      rng.nextU64()};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        std::uint64_t features[dims];
+        for (unsigned d = 0; d < dims; ++d)
+            features[d] = (o.b >> (8 * d)) & 0xff;
+        return tagged(0x1, kernel_.add(tx, unsigned(o.a), features));
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        kernel_.digest(d,
+                       [&](std::uint64_t v) { h = foldHash(h, v); });
+        return h;
+    }
+
+  private:
+    static constexpr unsigned dims = 3;
+    stamp::KmeansAccumKernel kernel_;
+};
+
+/** STAMP vacation-style reserve/cancel on capacity-bounded
+ *  resources — read-test-write races on the occupancy counters. */
+class VacationWorkload final : public TableWorkload
+{
+  public:
+    VacationWorkload(std::uint64_t seed, unsigned threads,
+                     unsigned ops_per_thread)
+        : kernel_(6, 3)
+    {
+        buildOps(seed, threads, ops_per_thread, [this](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            const std::uint64_t resource =
+                rng.nextRange(kernel_.resources());
+            const std::uint64_t price = 1 + rng.nextRange(9);
+            return Op{pick < 60 ? 0u : 1u, resource, price};
+        });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        if (o.kind == 0)
+            return tagged(0x1,
+                          kernel_.reserve(tx, unsigned(o.a), o.b));
+        return tagged(0x2, kernel_.cancel(tx, unsigned(o.a), o.b));
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        htm::DirectContext d;
+        std::uint64_t h = 0x8a5eedULL;
+        kernel_.digest(d,
+                       [&](std::uint64_t v) { h = foldHash(h, v); });
+        return h;
+    }
+
+  private:
+    stamp::ReservationKernel kernel_;
+};
+
+template <typename W>
+std::unique_ptr<CheckWorkload>
+makeWorkload(std::uint64_t seed, unsigned threads,
+             unsigned ops_per_thread)
+{
+    return std::make_unique<W>(seed, threads, ops_per_thread);
+}
+
+} // namespace
+
+const std::vector<WorkloadFactory>&
+allWorkloads()
+{
+    static const std::vector<WorkloadFactory> registry = {
+        {"hashtable", &makeWorkload<HashTableWorkload>},
+        {"rbtree", &makeWorkload<RbTreeWorkload>},
+        {"list", &makeWorkload<ListWorkload>},
+        {"queue", &makeWorkload<QueueWorkload>},
+        {"heap", &makeWorkload<HeapWorkload>},
+        {"bitmap", &makeWorkload<BitmapWorkload>},
+        {"kmeans", &makeWorkload<KmeansWorkload>},
+        {"vacation", &makeWorkload<VacationWorkload>},
+    };
+    return registry;
+}
+
+const WorkloadFactory*
+findWorkload(const std::string& name)
+{
+    for (const WorkloadFactory& factory : allWorkloads()) {
+        if (name == factory.name)
+            return &factory;
+    }
+    return nullptr;
+}
+
+} // namespace htmsim::check

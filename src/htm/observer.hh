@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Transaction-event observation hooks.
+ *
+ * A TxObserver registered on a Runtime receives one callback per
+ * transactional lifecycle event, in global virtual-time order (the
+ * simulator is single-threaded on the host, and every event site is
+ * preceded by a scheduling point, so callback order *is* the order in
+ * which the events become globally visible). The simcheck subsystem
+ * (src/check) uses this to capture per-run traces, reconstruct the
+ * committed-transaction order for its differential serializability
+ * oracle, and verify lock/transaction interleaving invariants.
+ *
+ * The hook is deliberately pull-free and allocation-free: the Runtime
+ * emits plain structs through a single virtual call, guarded by one
+ * null check, so the transactional hot path is unaffected when no
+ * observer is registered (the default for all experiments).
+ */
+
+#ifndef HTMSIM_HTM_OBSERVER_HH
+#define HTMSIM_HTM_OBSERVER_HH
+
+#include <cstdint>
+
+#include "abort.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::htm
+{
+
+/** What happened (one TxEvent per occurrence). */
+enum class TxEventKind : std::uint8_t
+{
+    /** A transactional attempt began (status became active). */
+    begin,
+    /** A transactional attempt committed (write-back completed). */
+    commit,
+    /** A transactional attempt rolled back; TxEvent::cause says why. */
+    abort,
+    /** The global fallback lock was acquired by TxEvent::tid. */
+    lockAcquired,
+    /** The global fallback lock was released by TxEvent::tid. */
+    lockReleased,
+    /** An irrevocable (global-lock fallback) section completed its
+     *  body; emitted while the lock is still held, i.e. at the
+     *  section's serialization point. */
+    fallbackCommit,
+};
+
+/** Human-readable event-kind name ("begin", "commit", ...). */
+const char* txEventKindName(TxEventKind kind);
+
+/** One transactional lifecycle event. */
+struct TxEvent
+{
+    TxEventKind kind;
+    /** Abort cause (meaningful for kind == abort, none otherwise). */
+    AbortCause cause;
+    /** Simulated thread the event belongs to. */
+    std::uint16_t tid;
+    /** The thread's virtual clock when the event occurred. */
+    sim::Cycles cycles;
+};
+
+/** Receives Runtime lifecycle events in global virtual-time order. */
+class TxObserver
+{
+  public:
+    virtual ~TxObserver() = default;
+
+    /** One event. Must not re-enter the Runtime or the scheduler. */
+    virtual void onEvent(const TxEvent& event) = 0;
+};
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_OBSERVER_HH

@@ -22,6 +22,20 @@ log2Exact(std::size_t value)
 
 } // namespace
 
+const char*
+txEventKindName(TxEventKind kind)
+{
+    switch (kind) {
+      case TxEventKind::begin: return "begin";
+      case TxEventKind::commit: return "commit";
+      case TxEventKind::abort: return "abort";
+      case TxEventKind::lockAcquired: return "lock-acquired";
+      case TxEventKind::lockReleased: return "lock-released";
+      case TxEventKind::fallbackCommit: return "fallback-commit";
+    }
+    return "?";
+}
+
 Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
     : config_(std::move(config))
 {
@@ -181,6 +195,7 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     tx.status_ = TxStatus::active;
     tx.startOrder_ = ++startCounter_;
     ++activePerCore_[config_.machine.coreOf(tx.tid_)];
+    emitEvent(TxEventKind::begin, tx.tid_, ctx.now());
 
     if (!lazy_subscribe && !tx.constrained_) {
         // Figure 1, lines 13/26: read the lock word transactionally so
@@ -235,6 +250,9 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
         --activePerCore_[config_.machine.coreOf(tx.tid_)];
     releaseSpecId(tx);
     tx.status_ = TxStatus::inactive;
+    // Emitted after the write-back walk: the event marks the point at
+    // which the transaction's stores became globally visible.
+    emitEvent(TxEventKind::commit, tx.tid_, ctx.now());
 }
 
 void
@@ -266,6 +284,7 @@ Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
 void
 Runtime::recordAbort(Tx& tx, AbortCause cause)
 {
+    emitEvent(TxEventKind::abort, tx.tid_, tx.ctx_->now(), cause);
     TxStats& stats = stats_[tx.tid_];
     stats.trueCauseAborts[std::size_t(cause)]++;
 
@@ -348,6 +367,7 @@ Runtime::acquireGlobalLock(sim::ThreadContext& ctx)
     ctx.advance(config_.machine.nonTxStoreCost);
     nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true);
     lockWord_ = 1;
+    emitEvent(TxEventKind::lockAcquired, ctx.id(), ctx.now());
 }
 
 void
@@ -357,6 +377,7 @@ Runtime::releaseGlobalLock(sim::ThreadContext& ctx)
     ctx.advance(config_.machine.nonTxStoreCost);
     nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true);
     lockWord_ = 0;
+    emitEvent(TxEventKind::lockReleased, ctx.id(), ctx.now());
     ctx.sync();
 }
 
@@ -369,6 +390,9 @@ Runtime::runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
         IrrevocableScope scope(tx, ctx);
         body(tx);
         ++stats_[tx.tid_].irrevocableCommits;
+        // Still under the lock: this is the section's serialization
+        // point, which is what the simcheck oracle orders by.
+        emitEvent(TxEventKind::fallbackCommit, tx.tid_, ctx.now());
     }
     // The lock release stays success-path-only on purpose: a body that
     // throws out of irrevocable execution is a programming error (it

@@ -32,6 +32,7 @@
 #include "conflict_table.hh"
 #include "function_ref.hh"
 #include "machine.hh"
+#include "observer.hh"
 #include "retry_policy.hh"
 #include "stats.hh"
 #include "tx.hh"
@@ -50,6 +51,21 @@ enum class ConflictPolicy : std::uint8_t
     attackerLoses,
     /** The younger transaction aborts (timestamp arbitration). */
     olderWins,
+};
+
+/**
+ * Deliberate model faults, enabled only by simcheck self-tests
+ * (check_runner --inject-fault) to prove the differential oracle
+ * detects a broken conflict-detection path. Never set in experiments;
+ * the default compiles to the unmodified hot path.
+ */
+enum class CheckFault : std::uint8_t
+{
+    none,
+    /** Eager-detection miss: a transactional store no longer dooms
+     *  concurrent readers of its line, so a reader can commit a stale
+     *  snapshot (lost updates — a serializability violation). */
+    missReaderConflict,
 };
 
 /** Blue Gene/Q-specific runtime knobs (Section 2.1 / Section 3). */
@@ -90,6 +106,9 @@ struct RuntimeConfig
     /** Disable capacity aborts (the paper's STM-based trace tool had
      *  no capacity limit); used together with collectTrace. */
     bool ignoreCapacity = false;
+
+    /** Injected model fault for simcheck oracle self-tests only. */
+    CheckFault checkFault = CheckFault::none;
 
     /** Base cycles of randomized backoff after an abort. The paper's
      *  Figure 1 retries immediately; a small randomized delay only
@@ -306,6 +325,14 @@ class Runtime
     TraceCollector& trace() { return trace_; }
     const TraceCollector& trace() const { return trace_; }
 
+    /**
+     * Register a lifecycle-event observer (nullptr to remove).
+     * Non-owning; must outlive the run. Events are delivered in
+     * global virtual-time order (see observer.hh).
+     */
+    void setObserver(TxObserver* observer) { observer_ = observer; }
+    TxObserver* observer() const { return observer_; }
+
     /** The transaction context of a thread (tests / TLS runtime). */
     Tx& txOf(unsigned tid) { return *txs_[tid]; }
 
@@ -370,6 +397,16 @@ class Runtime
     /** Strong isolation for non-transactional accesses. */
     void nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write);
 
+    /** Deliver one lifecycle event to the registered observer. */
+    void
+    emitEvent(TxEventKind kind, unsigned tid, Cycles cycles,
+              AbortCause cause = AbortCause::none)
+    {
+        if (observer_ != nullptr)
+            observer_->onEvent(TxEvent{kind, cause,
+                                       std::uint16_t(tid), cycles});
+    }
+
     // Speculation-ID pool (Blue Gene/Q, Section 2.1).
     void acquireSpecId(Tx& tx, sim::ThreadContext& ctx);
     void releaseSpecId(Tx& tx);
@@ -404,6 +441,7 @@ class Runtime
     std::vector<std::unique_ptr<Tx>> txs_;
     std::vector<TxStats> stats_;
     TraceCollector trace_;
+    TxObserver* observer_ = nullptr;
 
     /** The single-memory-word global fallback lock (Section 3). */
     std::uint64_t lockWord_ = 0;

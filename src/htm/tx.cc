@@ -221,13 +221,20 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
             runtime_->resolveConflict(*this, unsigned(line.writer),
                                       AbortCause::dataConflict);
         }
-        std::uint64_t readers = line.readers &
-                                ~(std::uint64_t(1) << tid_);
-        while (readers != 0) {
-            const unsigned reader = unsigned(__builtin_ctzll(readers));
-            readers &= readers - 1;
-            runtime_->resolveConflict(*this, reader,
-                                      AbortCause::dataConflict);
+        // simcheck self-test fault: skip the reader-doom walk, letting
+        // a concurrent reader commit a stale snapshot (runtime.hh,
+        // CheckFault::missReaderConflict). Off in all experiments.
+        if (runtime_->config_.checkFault !=
+            CheckFault::missReaderConflict) {
+            std::uint64_t readers = line.readers &
+                                    ~(std::uint64_t(1) << tid_);
+            while (readers != 0) {
+                const unsigned reader =
+                    unsigned(__builtin_ctzll(readers));
+                readers &= readers - 1;
+                runtime_->resolveConflict(*this, reader,
+                                          AbortCause::dataConflict);
+            }
         }
         line.writer = int(tid_);
         flags |= lineWritten;

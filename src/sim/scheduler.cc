@@ -9,6 +9,12 @@ namespace htmsim::sim
 void
 ThreadContext::sync()
 {
+    // Preemption point: a registered perturber may push this thread's
+    // clock forward here, letting another thread's events overtake.
+    // sync() may then enter yieldNow(), which draws again; the two
+    // draws are distinct preemption points and their delays add.
+    if (scheduler_->perturber_ != nullptr)
+        now_ += scheduler_->perturber_->preemptDelay(id_, now_);
     if (scheduler_->runnableBefore(now_))
         yieldNow();
 }
@@ -16,6 +22,8 @@ ThreadContext::sync()
 void
 ThreadContext::yieldNow()
 {
+    if (scheduler_->perturber_ != nullptr)
+        now_ += scheduler_->perturber_->preemptDelay(id_, now_);
     auto& thread = *scheduler_->threads_[id_];
     thread.state = Scheduler::State::runnable;
     scheduler_->enqueue(id_);

@@ -40,6 +40,31 @@ class SimError : public std::runtime_error
 class Scheduler;
 
 /**
+ * Hook consulted at every scheduling point (sync / yieldNow).
+ *
+ * Returning a non-zero delay pushes the current thread's clock forward
+ * before the scheduler picks the next runnable thread, which reorders
+ * globally visible events relative to the deterministic
+ * earliest-time-first baseline while preserving the virtual-time
+ * semantics (events still occur in virtual-time order). This is the
+ * mechanism simcheck's FuzzScheduler (src/check) uses to explore
+ * distinct interleavings per seed; with no perturber registered the
+ * scheduler's behaviour is bit-identical to before the hook existed.
+ */
+class SchedulePerturber
+{
+  public:
+    virtual ~SchedulePerturber() = default;
+
+    /**
+     * Called once per scheduling point of thread @p tid, whose clock
+     * reads @p now. @return extra cycles to charge the thread before
+     * the scheduling decision (0 = leave the schedule alone).
+     */
+    virtual Cycles preemptDelay(unsigned tid, Cycles now) = 0;
+};
+
+/**
  * Per-thread handle passed to simulated-thread bodies.
  *
  * All methods must be called from within the owning thread's fiber,
@@ -164,6 +189,15 @@ class Scheduler
     ThreadContext& context(unsigned tid) { return threads_[tid]->context; }
 
     /**
+     * Register a scheduling perturber (nullptr to remove). Non-owning;
+     * the perturber must outlive run(). One perturber per scheduler.
+     */
+    void setPerturber(SchedulePerturber* perturber)
+    {
+        perturber_ = perturber;
+    }
+
+    /**
      * True if any thread other than @p tid could still run or wake up.
      * Used by spin loops to detect true deadlock early.
      */
@@ -202,6 +236,7 @@ class Scheduler
     bool runnableBefore(Cycles time) const;
 
     std::uint64_t seed_;
+    SchedulePerturber* perturber_ = nullptr;
     std::uint64_t orderCounter_ = 0;
     std::vector<std::unique_ptr<Thread>> threads_;
     std::priority_queue<QueueEntry, std::vector<QueueEntry>,

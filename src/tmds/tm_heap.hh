@@ -85,6 +85,17 @@ class TmHeap
         return true;
     }
 
+    /** Visit every item in array (heap) order: f(item). */
+    template <typename Ctx, typename F>
+    void
+    forEach(Ctx& c, F&& f)
+    {
+        const std::uint64_t size = c.load(&size_);
+        std::uint64_t* items = c.load(&items_);
+        for (std::uint64_t i = 0; i < size; ++i)
+            f(c.load(&items[i]));
+    }
+
   private:
     template <typename Ctx>
     void

@@ -84,6 +84,20 @@ class TmQueue
         return true;
     }
 
+    /** Visit every queued item, oldest first: f(item). */
+    template <typename Ctx, typename F>
+    void
+    forEach(Ctx& c, F&& f)
+    {
+        const std::uint64_t tail = c.load(&tail_);
+        const std::uint64_t capacity = c.load(&capacity_);
+        std::uint64_t* items = c.load(&items_);
+        for (std::uint64_t i = c.load(&head_); i != tail;
+             i = (i + 1) % capacity) {
+            f(c.load(&items[i]));
+        }
+    }
+
   private:
     /** Double the backing array (inside the calling transaction). */
     template <typename Ctx>

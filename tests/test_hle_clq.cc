@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit tests for HLE (htm/hle.hh) and the clq concurrent-queue TM
+ * paths, driving the NoRetry/BoundedRetry policies with scripted
+ * abort streams and asserting exactly how often each path gives up
+ * to its fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "clq/concurrent_queue.hh"
+#include "htm/hle.hh"
+#include "htm/retry_policy.hh"
+#include "htm/runtime.hh"
+#include "sim/sim.hh"
+
+namespace
+{
+
+using namespace htmsim;
+using namespace htmsim::htm;
+using namespace htmsim::clq;
+
+RuntimeConfig
+quietConfig(MachineConfig machine)
+{
+    machine.cacheFetchAbortProb = 0.0;
+    machine.prefetchConflictProb = 0.0;
+    return RuntimeConfig(std::move(machine));
+}
+
+// ------------------------------------------------------------------
+// Scripted abort streams through tryAtomic (the substrate both HLE
+// and the clq TM paths drive their fallback decisions with)
+// ------------------------------------------------------------------
+
+/** Run one section whose body aborts exactly @p aborts times before
+ *  succeeding; returns the number of executions and the final cause
+ *  through the out-parameters. */
+AbortCause
+runScriptedSection(Runtime& runtime, sim::ThreadContext& ctx,
+                   RetryPolicy& policy, int aborts, int* executions)
+{
+    int remaining = aborts;
+    return runtime.tryAtomic(ctx, policy, [&](Tx& tx) {
+        ++*executions;
+        if (remaining > 0) {
+            --remaining;
+            tx.abortTx();
+        }
+        tx.work(1);
+    });
+}
+
+TEST(ScriptedRetry, NoRetryFallsBackAfterOneAttempt)
+{
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 1);
+    sim::Scheduler scheduler;
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        NoRetryPolicy policy;
+        int executions = 0;
+        EXPECT_EQ(runScriptedSection(runtime, ctx, policy, 1,
+                                     &executions),
+                  AbortCause::explicitAbort);
+        EXPECT_EQ(executions, 1) << "NoRetry must not re-attempt";
+
+        executions = 0;
+        EXPECT_EQ(runScriptedSection(runtime, ctx, policy, 0,
+                                     &executions),
+                  AbortCause::none);
+        EXPECT_EQ(executions, 1);
+    });
+    scheduler.run();
+    EXPECT_EQ(runtime.stats().htmCommits, 1u);
+}
+
+TEST(ScriptedRetry, BoundedRetryCountsFallbackAcquisitions)
+{
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 1);
+    sim::Scheduler scheduler;
+    // Scripted stream: aborts per section. With a budget of 3
+    // attempts, sections needing >= 3 aborts exhaust the policy and
+    // take the fallback.
+    const std::vector<int> script = {0, 1, 2, 3, 0, 4, 2, 5};
+    const int expectedFallbacks = 3; // the 3, 4 and 5 entries
+    const int attemptBudget = 3;
+
+    int fallbacks = 0;
+    std::uint64_t expectedCommits = 0;
+    std::vector<int> executionsPerSection;
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        BoundedRetryPolicy policy(attemptBudget);
+        for (const int aborts : script) {
+            int executions = 0;
+            const AbortCause cause = runScriptedSection(
+                runtime, ctx, policy, aborts, &executions);
+            executionsPerSection.push_back(executions);
+            if (cause != AbortCause::none) {
+                ++fallbacks;
+                policy.onFallback();
+            } else {
+                ++expectedCommits;
+            }
+        }
+    });
+    scheduler.run();
+
+    EXPECT_EQ(fallbacks, expectedFallbacks);
+    EXPECT_EQ(runtime.stats().htmCommits, expectedCommits);
+    for (std::size_t i = 0; i < script.size(); ++i) {
+        // Executions = aborts + 1 when it commits within budget,
+        // exactly the budget when it falls back.
+        const int expected =
+            script[i] < attemptBudget ? script[i] + 1 : attemptBudget;
+        EXPECT_EQ(executionsPerSection[i], expected)
+            << "section " << i << " (aborts=" << script[i] << ")";
+    }
+}
+
+TEST(ScriptedRetry, BoundedRetryOfOneMatchesNoRetry)
+{
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 1);
+    sim::Scheduler scheduler;
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        BoundedRetryPolicy bounded(1);
+        NoRetryPolicy none;
+        for (const int aborts : {0, 1, 2}) {
+            int boundedExecs = 0;
+            int noneExecs = 0;
+            const AbortCause boundedCause = runScriptedSection(
+                runtime, ctx, bounded, aborts, &boundedExecs);
+            const AbortCause noneCause = runScriptedSection(
+                runtime, ctx, none, aborts, &noneExecs);
+            EXPECT_EQ(boundedCause, noneCause);
+            EXPECT_EQ(boundedExecs, noneExecs);
+            EXPECT_EQ(boundedExecs, 1);
+        }
+    });
+    scheduler.run();
+}
+
+// ------------------------------------------------------------------
+// HLE
+// ------------------------------------------------------------------
+
+TEST(Hle, UncontendedSectionsElide)
+{
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 1);
+    HleLock lock;
+    std::uint64_t counter = 0;
+    constexpr int sections = 16;
+
+    sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+        for (int i = 0; i < sections; ++i) {
+            lock.execute(runtime, ctx, [&](Tx& tx) {
+                tx.store(&counter, tx.load(&counter) + 1);
+            });
+        }
+    });
+
+    EXPECT_EQ(counter, std::uint64_t(sections));
+    EXPECT_EQ(runtime.stats().htmCommits, std::uint64_t(sections))
+        << "uncontended HLE must never take the real lock";
+    EXPECT_EQ(runtime.stats().irrevocableCommits, 0u);
+    EXPECT_FALSE(lock.held());
+}
+
+TEST(Hle, ScriptedAbortTakesLockWithoutRetrying)
+{
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 1);
+    HleLock lock;
+    std::uint64_t counter = 0;
+
+    sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+        int executions = 0;
+        lock.execute(runtime, ctx, [&](Tx& tx) {
+            // Scripted stream: abort the (single) elision attempt.
+            if (++executions == 1)
+                tx.abortTx();
+            tx.store(&counter, tx.load(&counter) + 1);
+        });
+        // No software retry in HLE: the second execution is already
+        // the lock-acquired fallback.
+        EXPECT_EQ(executions, 2);
+    });
+
+    EXPECT_EQ(counter, 1u) << "aborted attempt must leave no effect";
+    EXPECT_EQ(runtime.stats().htmCommits, 0u);
+    EXPECT_EQ(runtime.stats().irrevocableCommits, 1u)
+        << "exactly one fallback acquisition";
+    EXPECT_FALSE(lock.held());
+}
+
+TEST(Hle, ContendedSectionsStayCoherent)
+{
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 4);
+    HleLock lock;
+    std::uint64_t counter = 0;
+    constexpr int sectionsPerThread = 12;
+
+    sim::runThreads(4, 7, [&](sim::ThreadContext& ctx) {
+        for (int i = 0; i < sectionsPerThread; ++i) {
+            lock.execute(runtime, ctx, [&](Tx& tx) {
+                tx.work(20);
+                tx.store(&counter, tx.load(&counter) + 1);
+            });
+        }
+    });
+
+    const TxStats stats = runtime.stats();
+    EXPECT_EQ(counter, std::uint64_t(4 * sectionsPerThread));
+    EXPECT_EQ(stats.htmCommits + stats.irrevocableCommits,
+              std::uint64_t(4 * sectionsPerThread))
+        << "every section commits exactly once, elided or locked";
+    EXPECT_FALSE(lock.held());
+}
+
+TEST(Hle, ThrowsOnMachinesWithoutHle)
+{
+    Runtime runtime(quietConfig(MachineConfig::power8()), 1);
+    HleLock lock;
+    sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+        EXPECT_THROW(lock.execute(runtime, ctx, [](Tx&) {}),
+                     std::logic_error);
+    });
+}
+
+// ------------------------------------------------------------------
+// clq queue TM paths
+// ------------------------------------------------------------------
+
+TEST(ClqPaths, SingleThreadNoRetryCommitsEverythingInHtm)
+{
+    Runtime runtime(quietConfig(MachineConfig::zEC12()), 1);
+    ConcurrentQueue queue;
+    constexpr int items = 20;
+
+    sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+        for (int i = 0; i < items; ++i)
+            queue.enqueue(runtime, ctx, 1000 + i, QueueMode::noRetryTm,
+                          0);
+        for (int i = 0; i < items; ++i) {
+            std::uint64_t value = 0;
+            ASSERT_TRUE(queue.dequeue(runtime, ctx, &value,
+                                      QueueMode::noRetryTm, 0));
+            EXPECT_EQ(value, std::uint64_t(1000 + i)) << "FIFO order";
+        }
+    });
+
+    // Uncontended, quiet machine: no aborts, so the single attempt
+    // of every operation commits transactionally — zero fallbacks.
+    EXPECT_EQ(runtime.stats().htmCommits, std::uint64_t(2 * items));
+    EXPECT_EQ(runtime.stats().totalAborts(), 0u);
+    EXPECT_EQ(queue.sizeHost(), 0u);
+}
+
+TEST(ClqPaths, SingleThreadOptRetryMatchesNoRetryWhenQuiet)
+{
+    Runtime runtime(quietConfig(MachineConfig::zEC12()), 1);
+    ConcurrentQueue queue;
+    constexpr int items = 20;
+
+    sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+        for (int i = 0; i < items; ++i)
+            queue.enqueue(runtime, ctx, i, QueueMode::optRetryTm, 3);
+        std::uint64_t value = 0;
+        while (queue.dequeue(runtime, ctx, &value,
+                             QueueMode::optRetryTm, 3)) {
+        }
+    });
+
+    // items enqueues + items successful dequeues + 1 empty dequeue,
+    // each a single committed attempt.
+    EXPECT_EQ(runtime.stats().htmCommits,
+              std::uint64_t(2 * items + 1));
+    EXPECT_EQ(queue.sizeHost(), 0u);
+}
+
+TEST(ClqPaths, SingleThreadConstrainedCommitsConstrained)
+{
+    Runtime runtime(quietConfig(MachineConfig::zEC12()), 1);
+    ConcurrentQueue queue;
+    constexpr int items = 20;
+
+    sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+        for (int i = 0; i < items; ++i)
+            queue.enqueue(runtime, ctx, i, QueueMode::constrainedTm,
+                          0);
+        for (int i = 0; i < items; ++i) {
+            std::uint64_t value = 0;
+            ASSERT_TRUE(queue.dequeue(runtime, ctx, &value,
+                                      QueueMode::constrainedTm, 0));
+            EXPECT_EQ(value, std::uint64_t(i));
+        }
+    });
+
+    EXPECT_EQ(runtime.stats().constrainedCommits,
+              std::uint64_t(2 * items));
+    EXPECT_EQ(runtime.stats().htmCommits, 0u);
+    EXPECT_EQ(queue.sizeHost(), 0u);
+}
+
+class ClqModeConservation
+    : public ::testing::TestWithParam<QueueMode>
+{
+};
+
+TEST_P(ClqModeConservation, ProducerConsumerLosesNothing)
+{
+    const QueueMode mode = GetParam();
+    Runtime runtime(quietConfig(MachineConfig::zEC12()), 2);
+    ConcurrentQueue queue;
+    constexpr int items = 40;
+    std::multiset<std::uint64_t> consumed;
+
+    sim::runThreads(2, 11, [&](sim::ThreadContext& ctx) {
+        if (ctx.id() == 0) {
+            for (int i = 0; i < items; ++i)
+                queue.enqueue(runtime, ctx, 500 + i, mode, 3);
+        } else {
+            int got = 0;
+            while (got < items) {
+                std::uint64_t value = 0;
+                if (queue.dequeue(runtime, ctx, &value, mode, 3)) {
+                    consumed.insert(value);
+                    ++got;
+                } else {
+                    ctx.advance(50); // empty: let the producer run
+                }
+            }
+        }
+    });
+
+    ASSERT_EQ(consumed.size(), std::size_t(items));
+    for (int i = 0; i < items; ++i)
+        EXPECT_EQ(consumed.count(500 + i), 1u) << "value " << i;
+    EXPECT_EQ(queue.sizeHost(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ClqModeConservation,
+    ::testing::Values(QueueMode::lockFree, QueueMode::noRetryTm,
+                      QueueMode::optRetryTm, QueueMode::constrainedTm),
+    [](const ::testing::TestParamInfo<QueueMode>& info) {
+        switch (info.param) {
+          case QueueMode::lockFree:
+            return "LockFree";
+          case QueueMode::noRetryTm:
+            return "NoRetryTm";
+          case QueueMode::optRetryTm:
+            return "OptRetryTm";
+          default:
+            return "ConstrainedTm";
+        }
+    });
+
+} // namespace
