@@ -4,20 +4,34 @@
  * the four machines with a chosen thread count, and print speed-up
  * and abort statistics.
  *
- *   stamp_runner [benchmark] [machine] [threads] [backend]
+ *   stamp_runner [benchmark] [machine] [threads] [backend] [options]
  *   stamp_runner vacation-high z12 8
  *   stamp_runner genome ic 4 lock
+ *   stamp_runner yada z12 8 htm --prof yada.json --perfetto trace.json
  *
  * Machines: bg | z12 | ic | p8. Backends: htm (best-effort HTM with
  * lock fallback, the default) | lock (every section under the global
  * lock) | ideal (no capacity limits, free begin/end).
  * Defaults: genome ic 4 htm.
+ *
+ * Options:
+ *   --prof FILE      profile the run per transaction site and write
+ *                    the txprof JSON report to FILE
+ *   --perfetto FILE  write a Perfetto / Chrome trace_event file
+ *   --quiet          only print the verification verdict
+ *
+ * Profiling replays the tuned winner with a TxProfiler attached;
+ * recording is zero-perturbation, so the profiled numbers are the
+ * run's real numbers.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "../bench/suite.hh"
+#include "prof/profiler.hh"
+#include "prof/report.hh"
 
 using namespace htmsim;
 using namespace htmsim::bench;
@@ -25,11 +39,42 @@ using namespace htmsim::bench;
 int
 main(int argc, char** argv)
 {
-    const std::string bench = argc > 1 ? argv[1] : "genome";
-    const std::string machine_name = argc > 2 ? argv[2] : "ic";
-    const unsigned threads =
-        argc > 3 ? unsigned(std::atoi(argv[3])) : 4;
-    const std::string backend_name = argc > 4 ? argv[4] : "htm";
+    std::string positional[4] = {"genome", "ic", "4", "htm"};
+    std::size_t num_positional = 0;
+    std::string prof_path;
+    std::string perfetto_path;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--prof") {
+            prof_path = value();
+        } else if (arg == "--perfetto") {
+            perfetto_path = value();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 1;
+        } else if (num_positional < 4) {
+            positional[num_positional++] = arg;
+        } else {
+            std::fprintf(stderr, "too many arguments at '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    const std::string& bench = positional[0];
+    const std::string& machine_name = positional[1];
+    const unsigned threads = unsigned(std::atoi(positional[2].c_str()));
+    const std::string& backend_name = positional[3];
 
     htm::BackendKind backend;
     if (backend_name == "htm") {
@@ -76,51 +121,101 @@ main(int argc, char** argv)
         return 1;
     }
 
+    // Tune the retry grid ourselves (rather than through
+    // SuiteRunner::measure) so the winning configuration is known and
+    // can be replayed under the profiler. The lock backend ignores
+    // retry counts, so one candidate suffices there.
     SuiteRunner runner;
     Speedup result;
-    if (backend == htm::BackendKind::htm) {
-        result = runner.measure(bench, machine, threads);
-    } else {
-        // Non-default backends: tune the retry grid ourselves (it
-        // still matters for the ideal backend's data conflicts; the
-        // lock backend ignores it, so one candidate suffices).
-        bool first = true;
-        for (RuntimeConfig config :
-             SuiteRunner::tuningCandidates(machine)) {
-            config.backend = backend;
-            const Speedup current =
-                runner.run(bench, config, machine, threads, true, 1);
-            if (first || current.ratio > result.ratio) {
-                result = current;
-                first = false;
-            }
-            if (backend == htm::BackendKind::globalLock)
-                break;
+    RuntimeConfig best_config{machine};
+    bool first = true;
+    for (RuntimeConfig config : SuiteRunner::tuningCandidates(machine)) {
+        config.backend = backend;
+        const Speedup current =
+            runner.run(bench, config, machine, threads, true, 1);
+        if (first || current.ratio > result.ratio) {
+            result = current;
+            best_config = config;
+            first = false;
+        }
+        if (backend == htm::BackendKind::globalLock)
+            break;
+    }
+
+    const bool profile = !prof_path.empty() || !perfetto_path.empty();
+    prof::TxProfiler profiler;
+    if (profile) {
+        best_config.observer = &profiler;
+        result = runner.run(bench, best_config, machine, threads, true,
+                            1);
+    }
+
+    if (!quiet) {
+        std::printf("%s on %s with %u thread(s), backend %s\n",
+                    bench.c_str(), machine.name.c_str(), threads,
+                    htm::backendKindName(backend));
+        std::printf("  sequential: %12llu cycles\n",
+                    (unsigned long long)result.seq.cycles);
+        std::printf("  HTM:        %12llu cycles  -> speed-up %.2fx\n",
+                    (unsigned long long)result.tm.cycles,
+                    result.ratio);
+        const htm::TxStats& stats = result.tm.stats;
+        std::printf("  commits: %llu (irrevocable %llu), aborts: %llu "
+                    "(%.1f%%)\n",
+                    (unsigned long long)stats.totalCommits(),
+                    (unsigned long long)stats.irrevocableCommits,
+                    (unsigned long long)stats.totalAborts(),
+                    stats.abortRatio() * 100.0);
+        for (unsigned i = 0; i < htm::numAbortCategories; ++i) {
+            if (stats.reportedAborts[i] == 0)
+                continue;
+            std::printf("    %-18s %llu\n",
+                        htm::abortCategoryName(htm::AbortCategory(i)),
+                        (unsigned long long)stats.reportedAborts[i]);
         }
     }
 
-    std::printf("%s on %s with %u thread(s), backend %s\n",
-                bench.c_str(), machine.name.c_str(), threads,
-                htm::backendKindName(backend));
-    std::printf("  sequential: %12llu cycles\n",
-                (unsigned long long)result.seq.cycles);
-    std::printf("  HTM:        %12llu cycles  -> speed-up %.2fx\n",
-                (unsigned long long)result.tm.cycles, result.ratio);
-    const htm::TxStats& stats = result.tm.stats;
-    std::printf("  commits: %llu (irrevocable %llu), aborts: %llu "
-                "(%.1f%%)\n",
-                (unsigned long long)stats.totalCommits(),
-                (unsigned long long)stats.irrevocableCommits,
-                (unsigned long long)stats.totalAborts(),
-                stats.abortRatio() * 100.0);
-    for (unsigned i = 0; i < htm::numAbortCategories; ++i) {
-        if (stats.reportedAborts[i] == 0)
-            continue;
-        std::printf("    %-18s %llu\n",
-                    htm::abortCategoryName(htm::AbortCategory(i)),
-                    (unsigned long long)stats.reportedAborts[i]);
+    if (profile) {
+        prof::RunInfo info;
+        info.bench = bench;
+        info.machine = machine.name;
+        info.backend = htm::backendKindName(backend);
+        info.threads = threads;
+        info.seed = 1;
+        info.tmCycles = result.tm.cycles;
+        info.seqCycles = result.seq.cycles;
+        info.speedup = result.ratio;
+        info.stats = result.tm.stats;
+        const prof::ProfileReport report = profiler.report();
+        if (!prof_path.empty()) {
+            std::ofstream out(prof_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             prof_path.c_str());
+                return 1;
+            }
+            prof::writeProfileJson(out, info, report);
+            if (!quiet)
+                std::printf("  profile written to %s\n",
+                            prof_path.c_str());
+        }
+        if (!perfetto_path.empty()) {
+            std::ofstream out(perfetto_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             perfetto_path.c_str());
+                return 1;
+            }
+            prof::writePerfettoTrace(out, info, profiler);
+            if (!quiet)
+                std::printf("  trace written to %s (load in "
+                            "ui.perfetto.dev)\n",
+                            perfetto_path.c_str());
+        }
     }
-    std::printf("  verification: %s\n",
-                result.tm.valid ? "PASSED" : "FAILED");
+
+    if (!quiet || !result.tm.valid)
+        std::printf("  verification: %s\n",
+                    result.tm.valid ? "PASSED" : "FAILED");
     return result.tm.valid ? 0 : 1;
 }

@@ -97,7 +97,9 @@ runDifferential(const WorkloadFactory& workload,
         scheduler.spawn([&, tid](sim::ThreadContext& ctx) {
             for (unsigned i = 0; i < ops; ++i) {
                 std::uint64_t result = 0;
-                runtime.atomic(ctx, [&](htm::Tx& tx) {
+                static const htm::TxSiteId opSite =
+                    htm::txSite("check.concurrentOp");
+                runtime.atomic(ctx, opSite, [&](htm::Tx& tx) {
                     result = concurrent->apply(tx, tid, i);
                 });
                 results[tid][i] = result;
@@ -162,7 +164,9 @@ runDifferential(const WorkloadFactory& workload,
         for (const unsigned tid : observer.commitOrder) {
             const unsigned i = cursor[tid]++;
             std::uint64_t result = 0;
-            lock_runtime.atomic(ctx, [&](htm::Tx& tx) {
+            static const htm::TxSiteId replaySite =
+                htm::txSite("check.serialReplay");
+            lock_runtime.atomic(ctx, replaySite, [&](htm::Tx& tx) {
                 result = reference->apply(tx, tid, i);
             });
             if (divergence.empty() && result != results[tid][i]) {

@@ -119,8 +119,10 @@ ConcurrentQueue::enqueue(Runtime& runtime, ThreadContext& ctx,
     }
 
     if (mode == QueueMode::constrainedTm) {
+        static const htm::TxSiteId constrainedSite =
+            htm::txSite("clq.enqueue.constrained");
         bool fast_path = false;
-        runtime.constrainedAtomic(ctx, [&](Tx& tx) {
+        runtime.constrainedAtomic(ctx, constrainedSite, [&](Tx& tx) {
             tx.work(tmPathWork);
             fast_path = enqueueBody(tx, node);
         });
@@ -132,13 +134,15 @@ ConcurrentQueue::enqueue(Runtime& runtime, ThreadContext& ctx,
     // NoRetryTM and OptRetryTM are the same path with different
     // attempt budgets (BoundedRetryPolicy(1) == NoRetryPolicy); the
     // lock-free queue is the fallback instead of the global lock.
+    static const htm::TxSiteId tmSite = htm::txSite("clq.enqueue.tm");
     htm::BoundedRetryPolicy policy(tmAttempts(mode, retries));
     bool fast_path = false;
-    const AbortCause cause = runtime.tryAtomic(ctx, policy, [&](Tx& tx) {
-        fast_path = false;
-        tx.work(tmPathWork);
-        fast_path = enqueueBody(tx, node);
-    });
+    const AbortCause cause =
+        runtime.tryAtomic(ctx, policy, tmSite, [&](Tx& tx) {
+            fast_path = false;
+            tx.work(tmPathWork);
+            fast_path = enqueueBody(tx, node);
+        });
     if (cause != AbortCause::none || !fast_path)
         enqueueLockFree(runtime, ctx, node);
 }
@@ -152,9 +156,11 @@ ConcurrentQueue::dequeue(Runtime& runtime, ThreadContext& ctx,
         return dequeueLockFree(runtime, ctx, out);
 
     if (mode == QueueMode::constrainedTm) {
+        static const htm::TxSiteId constrainedSite =
+            htm::txSite("clq.dequeue.constrained");
         bool empty = false;
         std::uint64_t value = 0;
-        runtime.constrainedAtomic(ctx, [&](Tx& tx) {
+        runtime.constrainedAtomic(ctx, constrainedSite, [&](Tx& tx) {
             empty = false;
             tx.work(tmPathWork);
             dequeueBody(tx, &empty, &value);
@@ -166,14 +172,16 @@ ConcurrentQueue::dequeue(Runtime& runtime, ThreadContext& ctx,
         return true;
     }
 
+    static const htm::TxSiteId tmSite = htm::txSite("clq.dequeue.tm");
     htm::BoundedRetryPolicy policy(tmAttempts(mode, retries));
     bool empty = false;
     std::uint64_t value = 0;
-    const AbortCause cause = runtime.tryAtomic(ctx, policy, [&](Tx& tx) {
-        empty = false;
-        tx.work(tmPathWork);
-        dequeueBody(tx, &empty, &value);
-    });
+    const AbortCause cause =
+        runtime.tryAtomic(ctx, policy, tmSite, [&](Tx& tx) {
+            empty = false;
+            tx.work(tmPathWork);
+            dequeueBody(tx, &empty, &value);
+        });
     if (cause != AbortCause::none)
         return dequeueLockFree(runtime, ctx, out);
     if (empty)

@@ -33,13 +33,22 @@ class HleLock
     void
     execute(Runtime& runtime, sim::ThreadContext& ctx, F&& body)
     {
+        execute(runtime, ctx, unknownTxSite, std::forward<F>(body));
+    }
+
+    /** execute() with a static site id for per-site profiling. */
+    template <typename F>
+    void
+    execute(Runtime& runtime, sim::ThreadContext& ctx, TxSiteId site,
+            F&& body)
+    {
         if (!runtime.machine().hasHle)
             throw std::logic_error("machine has no HLE support");
 
         // Elision attempt: subscribe to the lock word; the section
         // aborts if someone holds (or takes) the real lock.
         const AbortCause cause =
-            runtime.tryOnce(ctx, [&](Tx& tx) {
+            runtime.tryOnce(ctx, site, [&](Tx& tx) {
                 if (tx.load(&word_) != 0)
                     tx.abortTx();
                 body(tx);

@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "abort.hh"
+#include "site.hh"
 #include "sim/scheduler.hh"
 
 namespace htmsim::htm
@@ -58,7 +59,52 @@ struct TxEvent
     AbortCause cause;
     /** Simulated thread the event belongs to. */
     std::uint16_t tid;
+    /** Static site of the surrounding atomic section (0 = unknown). */
+    TxSiteId site = unknownTxSite;
     /** The thread's virtual clock when the event occurred. */
+    sim::Cycles cycles;
+    /**
+     * Virtual time the enclosing span began — pure observation, never
+     * fed back into the simulation. Per kind:
+     *   commit / abort    start of the attempt (before tbegin cost);
+     *   fallbackCommit    start of the locked body (lock acquired);
+     *   lockAcquired      when the thread started waiting for the lock;
+     *   lockReleased      when the lock was acquired (hold start);
+     *   begin             start of the attempt (== the later commit's
+     *                     or abort's sectionStart).
+     * cycles - sectionStart is the span's duration; the txprof
+     * subsystem attributes useful/wasted/lock cycles from exactly
+     * these pairs.
+     */
+    sim::Cycles sectionStart = 0;
+};
+
+/**
+ * One conflict-caused doom/abort decision. The *attacker* is the
+ * winning side of the arbitration (whose access or line ownership
+ * prevailed), the *victim* is the side whose transaction rolls back —
+ * whichever way the configured ConflictPolicy decided. Emitted at
+ * conflict-resolution time — before the victim unwinds — so both
+ * parties' sites are still bound. This is the raw feed of the txprof
+ * conflict matrix (which site pairs fight, and over which lines).
+ */
+struct TxConflictEvent
+{
+    /** Thread on the winning side of the conflict. */
+    std::uint16_t attackerTid;
+    /** Thread whose transaction aborts because of it. */
+    std::uint16_t victimTid;
+    /** Site bound on the winning thread (its most recently bound
+     *  section when the winning access was non-transactional). */
+    TxSiteId attackerSite;
+    /** Site of the aborting section. */
+    TxSiteId victimSite;
+    /** The attacking access was non-transactional (strong isolation,
+     *  including fallback-lock acquisition dooming subscribers). */
+    bool attackerNonTx;
+    /** Conflict-granularity line number (address >> granularity). */
+    std::uintptr_t line;
+    /** Attacker's virtual clock at resolution time. */
     sim::Cycles cycles;
 };
 
@@ -70,6 +116,13 @@ class TxObserver
 
     /** One event. Must not re-enter the Runtime or the scheduler. */
     virtual void onEvent(const TxEvent& event) = 0;
+
+    /** One conflict resolution. Default: ignore (existing observers
+     *  like the simcheck EventRing only need lifecycle events). */
+    virtual void onConflict(const TxConflictEvent& event)
+    {
+        (void) event;
+    }
 };
 
 } // namespace htmsim::htm

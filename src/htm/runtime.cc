@@ -84,10 +84,10 @@ Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
         specIdPool_ = 0;
     }
 
-    table_ = std::make_unique<ConflictTable>(conflictShift_);
     capacityModel_ =
         makeCapacityModel(machine, config_.ignoreCapacity || ideal);
     backend_ = makeBackend(config_, num_threads);
+    observer_ = config_.observer;
     stats_.resize(num_threads);
     activePerCore_.assign(machine.numCores, 0);
     freeSpecIds_ = specIdPool_;
@@ -116,63 +116,98 @@ Runtime::stats() const
 // Conflict resolution
 // --------------------------------------------------------------------
 
-void
+bool
 Runtime::doomTx(unsigned victim_tid, AbortCause cause)
 {
     Tx& victim = *txs_[victim_tid];
     if (victim.status_ != TxStatus::active || victim.unkillable_)
-        return;
+        return false;
     victim.status_ = TxStatus::doomed;
     victim.doomCause_ = cause;
+    return true;
+}
+
+void
+Runtime::emitConflict(unsigned attacker_tid, unsigned victim_tid,
+                      bool attacker_non_tx, std::uintptr_t line,
+                      Cycles cycles)
+{
+    if (observer_ == nullptr)
+        return;
+    observer_->onConflict(TxConflictEvent{
+        std::uint16_t(attacker_tid), std::uint16_t(victim_tid),
+        txs_[attacker_tid]->site_, txs_[victim_tid]->site_,
+        attacker_non_tx, line, cycles});
+}
+
+void
+Runtime::bindSite(unsigned tid, TxSiteId site)
+{
+    txs_[tid]->site_ = site;
 }
 
 void
 Runtime::resolveConflict(Tx& attacker, unsigned victim_tid,
-                         AbortCause victim_cause)
+                         AbortCause victim_cause, std::uintptr_t line)
 {
     Tx& victim = *txs_[victim_tid];
     if (victim.status_ != TxStatus::active)
         return; // already dying; its marks are stale
 
+    // Conflict events name the *winning* side the attacker and the
+    // *aborting* side the victim, whichever way arbitration went, so
+    // the txprof conflict matrix always pairs survivor with casualty.
+    const Cycles now = attacker.ctx_->now();
+
     if (victim.unkillable_) {
+        emitConflict(victim_tid, attacker.tid_, false, line, now);
         attacker.selfAbort(AbortCause::dataConflict);
     }
 
     switch (config_.policy) {
       case ConflictPolicy::attackerWins:
-        doomTx(victim_tid, victim_cause);
+        if (doomTx(victim_tid, victim_cause))
+            emitConflict(attacker.tid_, victim_tid, false, line, now);
         break;
       case ConflictPolicy::attackerLoses:
+        emitConflict(victim_tid, attacker.tid_, false, line, now);
         attacker.selfAbort(AbortCause::dataConflict);
         break;
       case ConflictPolicy::olderWins:
-        if (victim.startOrder_ < attacker.startOrder_)
+        if (victim.startOrder_ < attacker.startOrder_) {
+            emitConflict(victim_tid, attacker.tid_, false, line, now);
             attacker.selfAbort(AbortCause::dataConflict);
-        else
-            doomTx(victim_tid, victim_cause);
+        } else if (doomTx(victim_tid, victim_cause)) {
+            emitConflict(attacker.tid_, victim_tid, false, line, now);
+        }
         break;
     }
 }
 
 void
-Runtime::nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write)
+Runtime::nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write,
+                       Cycles now)
 {
-    const std::uintptr_t line_number = table_->lineOf(addr);
-    ConflictTable::Line* line = table_->find(line_number);
+    const std::uintptr_t line_number = conflictLineOf(addr);
+    ConflictLineState* line = findDirectoryLine(line_number);
     if (line == nullptr)
         return;
 
     // A non-transactional access wins against any transaction holding
     // the line (strong isolation via cache coherence, Section 2).
-    if (line->writer >= 0 && line->writer != int(tid))
-        doomTx(unsigned(line->writer), AbortCause::dataConflict);
+    if (line->writer >= 0 && line->writer != int(tid)) {
+        if (doomTx(unsigned(line->writer), AbortCause::dataConflict))
+            emitConflict(tid, unsigned(line->writer), true,
+                         line_number, now);
+    }
     if (is_write) {
         std::uint64_t readers = line->readers &
                                 ~(std::uint64_t(1) << tid);
         while (readers != 0) {
             const unsigned reader = unsigned(__builtin_ctzll(readers));
             readers &= readers - 1;
-            doomTx(reader, AbortCause::dataConflict);
+            if (doomTx(reader, AbortCause::dataConflict))
+                emitConflict(tid, reader, true, line_number, now);
         }
     }
 }
@@ -186,6 +221,7 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 {
     tx.ctx_ = &ctx;
     tx.resetAttemptState();
+    tx.attemptStart_ = ctx.now();
 
     acquireSpecId(tx, ctx);
 
@@ -195,7 +231,8 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     tx.status_ = TxStatus::active;
     tx.startOrder_ = ++startCounter_;
     ++activePerCore_[config_.machine.coreOf(tx.tid_)];
-    emitEvent(TxEventKind::begin, tx.tid_, ctx.now());
+    emitEvent(TxEventKind::begin, tx.tid_, tx.site_, ctx.now(),
+              tx.attemptStart_);
 
     if (!lazy_subscribe && !tx.constrained_) {
         // Figure 1, lines 13/26: read the lock word transactionally so
@@ -231,9 +268,9 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
         const std::uint8_t flags =
             *tx.conflictLines_.find(line_number);
         if (flags & Tx::lineRead)
-            table_->clearReader(line_number, tx.tid_);
+            clearDirectoryReader(line_number, tx.tid_);
         if (flags & Tx::lineWritten)
-            table_->clearWriter(line_number, tx.tid_);
+            clearDirectoryWriter(line_number, tx.tid_);
     }
     for (const auto& record : tx.deferredFrees_)
         NodePool::instance().free(record.ptr, record.bytes);
@@ -241,10 +278,12 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     if (config_.collectTrace)
         trace_.record(tx.loadLines_, tx.storeLines_);
 
+    TxStats& stats = stats_[tx.tid_];
     if (tx.constrained_)
-        ++stats_[tx.tid_].constrainedCommits;
+        ++stats.constrainedCommits;
     else
-        ++stats_[tx.tid_].htmCommits;
+        ++stats.htmCommits;
+    stats.committedTxCycles += ctx.now() - tx.attemptStart_;
 
     if (tx.status_ == TxStatus::active)
         --activePerCore_[config_.machine.coreOf(tx.tid_)];
@@ -252,7 +291,8 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     tx.status_ = TxStatus::inactive;
     // Emitted after the write-back walk: the event marks the point at
     // which the transaction's stores became globally visible.
-    emitEvent(TxEventKind::commit, tx.tid_, ctx.now());
+    emitEvent(TxEventKind::commit, tx.tid_, tx.site_, ctx.now(),
+              tx.attemptStart_);
 }
 
 void
@@ -262,9 +302,9 @@ Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
         const std::uint8_t flags =
             *tx.conflictLines_.find(line_number);
         if (flags & Tx::lineRead)
-            table_->clearReader(line_number, tx.tid_);
+            clearDirectoryReader(line_number, tx.tid_);
         if (flags & Tx::lineWritten)
-            table_->clearWriter(line_number, tx.tid_);
+            clearDirectoryWriter(line_number, tx.tid_);
     }
     for (const auto& record : tx.speculativeAllocs_)
         NodePool::instance().free(record.ptr, record.bytes);
@@ -279,12 +319,14 @@ Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
 
     ctx.advance(txAbortCost_);
     ctx.sync();
+    stats_[tx.tid_].wastedTxCycles += ctx.now() - tx.attemptStart_;
 }
 
 void
 Runtime::recordAbort(Tx& tx, AbortCause cause)
 {
-    emitEvent(TxEventKind::abort, tx.tid_, tx.ctx_->now(), cause);
+    emitEvent(TxEventKind::abort, tx.tid_, tx.site_, tx.ctx_->now(),
+              tx.attemptStart_, cause);
     TxStats& stats = stats_[tx.tid_];
     stats.trueCauseAborts[std::size_t(cause)]++;
 
@@ -335,6 +377,7 @@ Runtime::waitToBegin(sim::ThreadContext& ctx)
 {
     // Figure 1 line 9: wait for the global lock to be released before
     // beginning, to avoid the lemming effect [8].
+    const Cycles wait_start = ctx.now();
     if (lockWord_ != 0) {
         ctx.spinUntil([this] { return lockWord_ == 0; }, lockPollCost);
     }
@@ -342,6 +385,7 @@ Runtime::waitToBegin(sim::ThreadContext& ctx)
         ctx.spinUntil([this] { return constrainedOwner_ < 0; },
                       lockPollCost);
     }
+    stats_[ctx.id()].lockWaitCycles += ctx.now() - wait_start;
 }
 
 void
@@ -353,21 +397,27 @@ Runtime::backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts)
     const Cycles jitter = Cycles(double(base) * ctx.rng().nextDouble());
     ctx.advance(base + jitter);
     ctx.sync();
+    stats_[ctx.id()].backoffCycles += base + jitter;
 }
 
 void
 Runtime::acquireGlobalLock(sim::ThreadContext& ctx)
 {
     ctx.sync();
+    const Cycles wait_start = ctx.now();
     if (lockWord_ != 0) {
         ctx.spinUntil([this] { return lockWord_ == 0; }, lockPollCost);
     }
     // No scheduling point between the final probe and the store: the
     // acquisition is atomic in virtual time.
     ctx.advance(config_.machine.nonTxStoreCost);
-    nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true);
+    nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true,
+                  ctx.now());
     lockWord_ = 1;
-    emitEvent(TxEventKind::lockAcquired, ctx.id(), ctx.now());
+    stats_[ctx.id()].lockWaitCycles += ctx.now() - wait_start;
+    lockHoldStart_ = ctx.now();
+    emitEvent(TxEventKind::lockAcquired, ctx.id(),
+              txs_[ctx.id()]->site_, ctx.now(), wait_start);
 }
 
 void
@@ -375,9 +425,11 @@ Runtime::releaseGlobalLock(sim::ThreadContext& ctx)
 {
     assert(lockWord_ != 0);
     ctx.advance(config_.machine.nonTxStoreCost);
-    nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true);
+    nonTxConflict(ctx.id(), std::uintptr_t(&lockWord_), true,
+                  ctx.now());
     lockWord_ = 0;
-    emitEvent(TxEventKind::lockReleased, ctx.id(), ctx.now());
+    emitEvent(TxEventKind::lockReleased, ctx.id(),
+              txs_[ctx.id()]->site_, ctx.now(), lockHoldStart_);
     ctx.sync();
 }
 
@@ -386,13 +438,15 @@ Runtime::runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
                         FunctionRef<void(Tx&)> body)
 {
     acquireGlobalLock(ctx);
+    const Cycles hold_start = ctx.now();
     {
         IrrevocableScope scope(tx, ctx);
         body(tx);
         ++stats_[tx.tid_].irrevocableCommits;
         // Still under the lock: this is the section's serialization
         // point, which is what the simcheck oracle orders by.
-        emitEvent(TxEventKind::fallbackCommit, tx.tid_, ctx.now());
+        emitEvent(TxEventKind::fallbackCommit, tx.tid_, tx.site_,
+                  ctx.now(), hold_start);
     }
     // The lock release stays success-path-only on purpose: a body that
     // throws out of irrevocable execution is a programming error (it
@@ -400,6 +454,7 @@ Runtime::runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
     // visible instead of silently continuing unserialized. The scope
     // guard above still restores the Tx status for the unwind.
     releaseGlobalLock(ctx);
+    stats_[tx.tid_].fallbackCycles += ctx.now() - hold_start;
 }
 
 AbortCause
@@ -469,6 +524,7 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
     tx.ctx_ = &ctx;
     try {
         tx.resetAttemptState();
+        tx.attemptStart_ = ctx.now();
         ctx.advance(txBeginCost_);
         ctx.sync();
         tx.status_ = TxStatus::rollbackOnly;
@@ -484,6 +540,7 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
         for (const auto& record : tx.deferredFrees_)
             NodePool::instance().free(record.ptr, record.bytes);
         ++stats_[tx.tid_].htmCommits;
+        stats_[tx.tid_].committedTxCycles += ctx.now() - tx.attemptStart_;
         tx.status_ = TxStatus::inactive;
         return true;
     } catch (const TxAbortException& abort) {
@@ -492,6 +549,7 @@ Runtime::runRollbackOnly(sim::ThreadContext& ctx,
         tx.status_ = TxStatus::inactive;
         ctx.advance(txAbortCost_);
         ctx.sync();
+        stats_[tx.tid_].wastedTxCycles += ctx.now() - tx.attemptStart_;
         recordAbort(tx, abort.cause);
         return false;
     }

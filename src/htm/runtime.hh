@@ -29,17 +29,41 @@
 #include "abort.hh"
 #include "backend.hh"
 #include "capacity_model.hh"
-#include "conflict_table.hh"
+#include "flat_table.hh"
 #include "function_ref.hh"
 #include "machine.hh"
 #include "observer.hh"
 #include "retry_policy.hh"
+#include "site.hh"
 #include "stats.hh"
 #include "tx.hh"
 #include "sim/scheduler.hh"
 
 namespace htmsim::htm
 {
+
+/**
+ * Tracking state of one conflict-granularity line: the
+ * cache-coherence-based access marks all four machines keep (writer id
+ * plus a reader set, Section 2). The directory lives directly in the
+ * Runtime as a FlatTable keyed by line number (address >> granularity
+ * log2); entries are never erased — clearing a mark empties the state
+ * and the slot is reused on the next touch, trading a bounded
+ * footprint (distinct lines ever touched) for erase-free probing.
+ */
+struct ConflictLineState
+{
+    /** Writing transaction's thread id, or -1. */
+    int writer = -1;
+    /** Bitmask of reader thread ids (max 64 simulated threads). */
+    std::uint64_t readers = 0;
+
+    bool
+    empty() const
+    {
+        return writer < 0 && readers == 0;
+    }
+};
 
 /** Who survives when two transactions collide on a line. */
 enum class ConflictPolicy : std::uint8_t
@@ -110,6 +134,16 @@ struct RuntimeConfig
     /** Injected model fault for simcheck oracle self-tests only. */
     CheckFault checkFault = CheckFault::none;
 
+    /**
+     * Lifecycle-event observer to register at construction (txprof /
+     * simcheck). Non-owning; must outlive the Runtime. Equivalent to
+     * calling setObserver() right after construction — this hook
+     * exists so harness code that builds runtimes internally (the
+     * STAMP measurement harness, the bench suite) can attach a
+     * profiler without new plumbing. nullptr = no observer.
+     */
+    TxObserver* observer = nullptr;
+
     /** Base cycles of randomized backoff after an abort. The paper's
      *  Figure 1 retries immediately; a small randomized delay only
      *  de-synchronizes the deterministic lock-step of the simulation
@@ -153,6 +187,15 @@ class Runtime
     void
     atomic(sim::ThreadContext& ctx, F&& body)
     {
+        atomic(ctx, unknownTxSite, std::forward<F>(body));
+    }
+
+    /** atomic() with a static site id for per-site profiling. */
+    template <typename F>
+    void
+    atomic(sim::ThreadContext& ctx, TxSiteId site, F&& body)
+    {
+        bindSite(ctx.id(), site);
         FunctionRef<void(Tx&)> ref(body);
         backend_->runAtomic(*this, ctx, ref);
     }
@@ -167,6 +210,15 @@ class Runtime
     void
     constrainedAtomic(sim::ThreadContext& ctx, F&& body)
     {
+        constrainedAtomic(ctx, unknownTxSite, std::forward<F>(body));
+    }
+
+    /** constrainedAtomic() with a static site id. */
+    template <typename F>
+    void
+    constrainedAtomic(sim::ThreadContext& ctx, TxSiteId site, F&& body)
+    {
+        bindSite(ctx.id(), site);
         FunctionRef<void(Tx&)> ref(body);
         runConstrained(ctx, ref);
     }
@@ -180,6 +232,15 @@ class Runtime
     bool
     rollbackOnly(sim::ThreadContext& ctx, F&& body)
     {
+        return rollbackOnly(ctx, unknownTxSite, std::forward<F>(body));
+    }
+
+    /** rollbackOnly() with a static site id. */
+    template <typename F>
+    bool
+    rollbackOnly(sim::ThreadContext& ctx, TxSiteId site, F&& body)
+    {
+        bindSite(ctx.id(), site);
         FunctionRef<void(Tx&)> ref(body);
         return runRollbackOnly(ctx, ref);
     }
@@ -195,6 +256,17 @@ class Runtime
     AbortCause
     tryAtomic(sim::ThreadContext& ctx, RetryPolicy& policy, F&& body)
     {
+        return tryAtomic(ctx, policy, unknownTxSite,
+                         std::forward<F>(body));
+    }
+
+    /** tryAtomic() with a static site id. */
+    template <typename F>
+    AbortCause
+    tryAtomic(sim::ThreadContext& ctx, RetryPolicy& policy,
+              TxSiteId site, F&& body)
+    {
+        bindSite(ctx.id(), site);
         FunctionRef<void(Tx&)> ref(body);
         return runPolicyAttempts(ctx, policy, ref);
     }
@@ -208,8 +280,16 @@ class Runtime
     AbortCause
     tryOnce(sim::ThreadContext& ctx, F&& body)
     {
+        return tryOnce(ctx, unknownTxSite, std::forward<F>(body));
+    }
+
+    /** tryOnce() with a static site id. */
+    template <typename F>
+    AbortCause
+    tryOnce(sim::ThreadContext& ctx, TxSiteId site, F&& body)
+    {
         NoRetryPolicy policy;
-        return tryAtomic(ctx, policy, body);
+        return tryAtomic(ctx, policy, site, body);
     }
 
     /** Execute @p body under the global lock (irrevocably). */
@@ -217,6 +297,15 @@ class Runtime
     void
     runLocked(sim::ThreadContext& ctx, F&& body)
     {
+        runLocked(ctx, unknownTxSite, std::forward<F>(body));
+    }
+
+    /** runLocked() with a static site id. */
+    template <typename F>
+    void
+    runLocked(sim::ThreadContext& ctx, TxSiteId site, F&& body)
+    {
+        bindSite(ctx.id(), site);
         FunctionRef<void(Tx&)> ref(body);
         runIrrevocable(ctx, txOf(ctx.id()), ref);
     }
@@ -231,7 +320,7 @@ class Runtime
         static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
         ctx.advance(config_.machine.nonTxLoadCost);
         ctx.sync();
-        nonTxConflict(ctx.id(), std::uintptr_t(addr), false);
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), false, ctx.now());
         return *addr;
     }
 
@@ -243,7 +332,7 @@ class Runtime
         static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
         ctx.advance(config_.machine.nonTxStoreCost);
         ctx.sync();
-        nonTxConflict(ctx.id(), std::uintptr_t(addr), true);
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), true, ctx.now());
         *addr = value;
     }
 
@@ -258,7 +347,7 @@ class Runtime
         static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
         ctx.advance(config_.machine.casCost);
         ctx.sync();
-        nonTxConflict(ctx.id(), std::uintptr_t(addr), true);
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), true, ctx.now());
         if (*addr != expected)
             return false;
         *addr = desired;
@@ -278,9 +367,11 @@ class Runtime
     runNonSpeculative(sim::ThreadContext& ctx, F&& body)
     {
         Tx& tx = txOf(ctx.id());
+        const Cycles start = ctx.now();
         IrrevocableScope scope(tx, ctx);
         body(tx);
         ++stats_[ctx.id()].irrevocableCommits;
+        stats_[ctx.id()].fallbackCycles += ctx.now() - start;
     }
 
     /** Atomic (in virtual time) non-transactional fetch-add. */
@@ -292,7 +383,7 @@ class Runtime
         ctx.advance(config_.machine.nonTxStoreCost +
                     config_.machine.nonTxLoadCost);
         ctx.sync();
-        nonTxConflict(ctx.id(), std::uintptr_t(addr), true);
+        nonTxConflict(ctx.id(), std::uintptr_t(addr), true, ctx.now());
         const T previous = *addr;
         *addr = previous + delta;
         return previous;
@@ -336,13 +427,29 @@ class Runtime
     /** The transaction context of a thread (tests / TLS runtime). */
     Tx& txOf(unsigned tid) { return *txs_[tid]; }
 
+    /**
+     * Bind a static site id to a thread's next atomic section(s). The
+     * binding sticks until the next bind, so every attempt — including
+     * the global-lock fallback of the same section — reports the same
+     * site. The site-aware atomic() overloads call this; it is public
+     * for custom drivers (HLE, TLS) that stage sections themselves.
+     */
+    void bindSite(unsigned tid, TxSiteId site);
+
     /** Whether the global fallback lock is currently held. */
     bool globalLockHeld() const { return lockWord_ != 0; }
 
-    /** Number of lines currently tracked in the conflict directory. */
-    std::size_t trackedConflictLines() const
+    /** Number of lines with live marks in the conflict directory. */
+    std::size_t
+    trackedConflictLines() const
     {
-        return table_->trackedLines();
+        std::size_t count = 0;
+        directory_.forEach(
+            [&count](std::uintptr_t, const ConflictLineState& line) {
+                if (!line.empty())
+                    ++count;
+            });
+        return count;
     }
 
     /** Cycles charged per probe when spinning on the global lock. */
@@ -389,23 +496,73 @@ class Runtime
     /** Charge randomized exponential backoff after an abort. */
     void backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts);
 
-    /** Resolve a conflict between the attacking access and a peer. */
+    /** Resolve a conflict on @p line between the attacking access and
+     *  a peer transaction. */
     void resolveConflict(Tx& attacker, unsigned victim_tid,
-                         AbortCause victim_cause);
-    void doomTx(unsigned victim_tid, AbortCause cause);
+                         AbortCause victim_cause, std::uintptr_t line);
+    /** Doom @p victim_tid (if killable). @return whether it was. */
+    bool doomTx(unsigned victim_tid, AbortCause cause);
 
-    /** Strong isolation for non-transactional accesses. */
-    void nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write);
+    /** Strong isolation for non-transactional accesses. @p now is the
+     *  accessor's virtual clock (conflict-event timestamping only). */
+    void nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write,
+                       Cycles now);
+
+    // --- Conflict directory (line -> writer/readers marks) -----------
+
+    /** Conflict-granularity line number covering @p addr. */
+    std::uintptr_t conflictLineOf(std::uintptr_t addr) const
+    {
+        return addr >> conflictShift_;
+    }
+
+    /** Find-or-create the tracking state for a line. */
+    ConflictLineState& directoryLine(std::uintptr_t line_number)
+    {
+        return directory_.insertOrFind(line_number);
+    }
+
+    /** Find the tracking state for a line, or nullptr. The returned
+     *  state may be empty (marks already cleared; slots persist). */
+    ConflictLineState* findDirectoryLine(std::uintptr_t line_number)
+    {
+        return directory_.find(line_number);
+    }
+
+    /** Drop a thread's reader mark from a line. */
+    void
+    clearDirectoryReader(std::uintptr_t line_number, unsigned tid)
+    {
+        ConflictLineState* line = directory_.find(line_number);
+        if (line != nullptr)
+            line->readers &= ~(std::uint64_t(1) << tid);
+    }
+
+    /** Drop a thread's writer mark (if it still owns the line). */
+    void
+    clearDirectoryWriter(std::uintptr_t line_number, unsigned tid)
+    {
+        ConflictLineState* line = directory_.find(line_number);
+        if (line != nullptr && line->writer == int(tid))
+            line->writer = -1;
+    }
 
     /** Deliver one lifecycle event to the registered observer. */
     void
-    emitEvent(TxEventKind kind, unsigned tid, Cycles cycles,
+    emitEvent(TxEventKind kind, unsigned tid, TxSiteId site,
+              Cycles cycles, Cycles section_start,
               AbortCause cause = AbortCause::none)
     {
-        if (observer_ != nullptr)
-            observer_->onEvent(TxEvent{kind, cause,
-                                       std::uint16_t(tid), cycles});
+        if (observer_ != nullptr) {
+            observer_->onEvent(TxEvent{kind, cause, std::uint16_t(tid),
+                                       site, cycles, section_start});
+        }
     }
+
+    /** Deliver one conflict resolution to the registered observer. */
+    void emitConflict(unsigned attacker_tid, unsigned victim_tid,
+                      bool attacker_non_tx, std::uintptr_t line,
+                      Cycles cycles);
 
     // Speculation-ID pool (Blue Gene/Q, Section 2.1).
     void acquireSpecId(Tx& tx, sim::ThreadContext& ctx);
@@ -435,7 +592,8 @@ class Runtime
     bool lazySubscription_ = false;
     unsigned specIdPool_ = 0;
 
-    std::unique_ptr<ConflictTable> table_;
+    /** The conflict directory (see ConflictLineState). */
+    FlatTable<ConflictLineState, 64> directory_;
     std::unique_ptr<CapacityModel> capacityModel_;
     std::unique_ptr<TmBackend> backend_;
     std::vector<std::unique_ptr<Tx>> txs_;
@@ -445,6 +603,10 @@ class Runtime
 
     /** The single-memory-word global fallback lock (Section 3). */
     std::uint64_t lockWord_ = 0;
+
+    /** When the current lock holder completed its acquisition (hold
+     *  span start for the lockReleased event; observation only). */
+    Cycles lockHoldStart_ = 0;
 
     /** Thread holding constrained-transaction priority, or -1. */
     int constrainedOwner_ = -1;

@@ -1,0 +1,64 @@
+#include "site.hh"
+
+#include <unordered_map>
+#include <vector>
+
+namespace htmsim::htm
+{
+
+struct SiteRegistry::Impl
+{
+    std::vector<std::string> names;
+    std::unordered_map<std::string, TxSiteId> ids;
+};
+
+SiteRegistry::SiteRegistry() : impl_(new Impl)
+{
+    impl_->names.reserve(64);
+    impl_->names.emplace_back("<unknown>");
+}
+
+SiteRegistry&
+SiteRegistry::instance()
+{
+    // Leaked on purpose: site ids must stay resolvable during static
+    // destruction (profilers may format reports from destructors).
+    static SiteRegistry* registry = new SiteRegistry;
+    return *registry;
+}
+
+TxSiteId
+SiteRegistry::intern(std::string_view name)
+{
+    auto found = impl_->ids.find(std::string(name));
+    if (found != impl_->ids.end())
+        return found->second;
+    if (impl_->names.size() >= maxSites)
+        return unknownTxSite;
+    const auto id = TxSiteId(impl_->names.size());
+    impl_->names.emplace_back(name);
+    impl_->ids.emplace(impl_->names.back(), id);
+    return id;
+}
+
+const std::string&
+SiteRegistry::name(TxSiteId id) const
+{
+    if (id >= impl_->names.size())
+        return impl_->names[0];
+    return impl_->names[id];
+}
+
+std::size_t
+SiteRegistry::size() const
+{
+    return impl_->names.size();
+}
+
+TxSiteId
+txSite(std::string_view name)
+{
+    return SiteRegistry::instance().intern(name);
+}
+
+} // namespace htmsim::htm

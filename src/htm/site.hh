@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static transaction-site registry (the txprof subsystem's anchor).
+ *
+ * A *site* is one static atomic block in the program text — a yada
+ * cavity refinement, a kmeans accumulate, a queue enqueue fast path.
+ * Each site interns its name once and receives a stable TxSiteId; the
+ * id is carried through Tx into every lifecycle event, so profiling
+ * aggregates per site instead of per run. Interning is idempotent
+ * (same name -> same id for the life of the process), which is what
+ * lets the usual static-local registration idiom work:
+ *
+ *   static const htm::TxSiteId site = htm::txSite("yada.refine");
+ *   exec.atomic(site, [&](auto& c) { ... });
+ *
+ * Ids are dense from 1; id 0 is reserved for "<unknown>" (sections
+ * that never registered). The registry only ever grows — names from
+ * finished runs stay registered, which keeps ids stable across the
+ * many runtimes a tuning sweep constructs.
+ */
+
+#ifndef HTMSIM_HTM_SITE_HH
+#define HTMSIM_HTM_SITE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace htmsim::htm
+{
+
+/** Stable identifier of one static transaction site (0 = unknown). */
+using TxSiteId = std::uint16_t;
+
+/** The id every unregistered atomic section carries. */
+inline constexpr TxSiteId unknownTxSite = 0;
+
+/**
+ * Process-wide name -> TxSiteId intern table.
+ *
+ * The simulator is single-threaded on the host, so no locking is
+ * needed; registration typically happens on a site's first execution.
+ */
+class SiteRegistry
+{
+  public:
+    static SiteRegistry& instance();
+
+    /**
+     * Return the id for @p name, registering it on first use.
+     * Registration beyond maxSites (bounded so profilers can
+     * preallocate) collapses to unknownTxSite.
+     */
+    TxSiteId intern(std::string_view name);
+
+    /** Name of a site ("<unknown>" for id 0 or out-of-range ids). */
+    const std::string& name(TxSiteId id) const;
+
+    /** Number of ids handed out, including the reserved id 0. */
+    std::size_t size() const;
+
+    /** Upper bound on distinct sites (lets observers preallocate). */
+    static constexpr std::size_t maxSites = 4096;
+
+  private:
+    SiteRegistry();
+
+    struct Impl;
+    Impl* impl_;
+};
+
+/** Convenience: intern @p name in the global registry. */
+TxSiteId txSite(std::string_view name);
+
+} // namespace htmsim::htm
+
+#endif // HTMSIM_HTM_SITE_HH

@@ -46,6 +46,26 @@ struct TxStats
     /** Speculation-ID reclamation passes performed (BG/Q). */
     std::uint64_t specIdReclaims = 0;
 
+    // -- Cycle attribution (txprof). Pure observations of the virtual
+    //    clocks: always collected, never fed back into the model, so
+    //    simulated results are independent of whether anyone reads
+    //    them. All values are in virtual cycles.
+
+    /** Useful work: attempt start -> commit of committed HTM (and
+     *  constrained) attempts, including tbegin/tend overhead. */
+    std::uint64_t committedTxCycles = 0;
+    /** Wasted work: attempt start -> rollback completion of aborted
+     *  attempts, including the abort penalty. */
+    std::uint64_t wastedTxCycles = 0;
+    /** Fallback work: global-lock hold time of irrevocable sections
+     *  (body + lock release). */
+    std::uint64_t fallbackCycles = 0;
+    /** Stalls: spinning for the fallback lock (lemming wait at begin
+     *  plus the acquisition spin) and constrained-priority waits. */
+    std::uint64_t lockWaitCycles = 0;
+    /** Stalls: randomized post-abort backoff. */
+    std::uint64_t backoffCycles = 0;
+
     std::uint64_t
     totalAborts() const
     {
@@ -85,6 +105,23 @@ struct TxStats
                double(irrevocableCommits) / double(commits);
     }
 
+    /**
+     * txprof metric: wasted-work ratio — aborted-attempt cycles over
+     * all cycles spent inside critical sections (committed, aborted,
+     * or irrevocable). Refines the abort ratio: an abort of a long
+     * cavity refinement weighs its full cost, an abort of a short
+     * accumulate almost nothing.
+     */
+    double
+    wastedWorkRatio() const
+    {
+        const std::uint64_t useful =
+            committedTxCycles + fallbackCycles;
+        const std::uint64_t total = useful + wastedTxCycles;
+        return total == 0 ? 0.0 :
+               double(wastedTxCycles) / double(total);
+    }
+
     double
     reportedFraction(AbortCategory category) const
     {
@@ -108,6 +145,11 @@ struct TxStats
         txStores += other.txStores;
         specIdWaits += other.specIdWaits;
         specIdReclaims += other.specIdReclaims;
+        committedTxCycles += other.committedTxCycles;
+        wastedTxCycles += other.wastedTxCycles;
+        fallbackCycles += other.fallbackCycles;
+        lockWaitCycles += other.lockWaitCycles;
+        backoffCycles += other.backoffCycles;
         return *this;
     }
 };

@@ -49,7 +49,7 @@ Tx::loadWord(const void* addr, std::size_t size)
     if (status_ == TxStatus::irrevocable) {
         ctx_->advance(machine.nonTxLoadCost);
         ctx_->sync();
-        runtime_->nonTxConflict(tid_, uaddr, false);
+        runtime_->nonTxConflict(tid_, uaddr, false, ctx_->now());
         return readMemory(addr, size);
     }
 
@@ -59,7 +59,7 @@ Tx::loadWord(const void* addr, std::size_t size)
         // transactional access towards *other* transactions.
         ctx_->advance(machine.nonTxLoadCost);
         ctx_->sync();
-        runtime_->nonTxConflict(tid_, uaddr, false);
+        runtime_->nonTxConflict(tid_, uaddr, false, ctx_->now());
         if (const WriteEntry* entry = writeBuffer_.find(uaddr))
             return entry->value;
         return readMemory(addr, size);
@@ -131,7 +131,7 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
     if (status_ == TxStatus::irrevocable) {
         ctx_->advance(machine.nonTxStoreCost);
         ctx_->sync();
-        runtime_->nonTxConflict(tid_, uaddr, true);
+        runtime_->nonTxConflict(tid_, uaddr, true, ctx_->now());
         writeMemory(addr, size, value);
         return;
     }
@@ -139,7 +139,7 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
     if (suspended_) {
         ctx_->advance(machine.nonTxStoreCost);
         ctx_->sync();
-        runtime_->nonTxConflict(tid_, uaddr, true);
+        runtime_->nonTxConflict(tid_, uaddr, true, ctx_->now());
         writeMemory(addr, size, value);
         return;
     }
@@ -205,8 +205,7 @@ Tx::bufferStore(std::uintptr_t uaddr, std::size_t size,
 void
 Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
 {
-    ConflictTable& table = *runtime_->table_;
-    const std::uintptr_t line_number = table.lineOf(addr);
+    const std::uintptr_t line_number = runtime_->conflictLineOf(addr);
     bool inserted = false;
     std::uint8_t& flags =
         conflictLines_.insertOrFind(line_number, &inserted);
@@ -216,10 +215,11 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
     if (is_write) {
         if (flags & lineWritten)
             return;
-        ConflictTable::Line& line = table.line(line_number);
+        ConflictLineState& line = runtime_->directoryLine(line_number);
         if (line.writer >= 0 && line.writer != int(tid_)) {
             runtime_->resolveConflict(*this, unsigned(line.writer),
-                                      AbortCause::dataConflict);
+                                      AbortCause::dataConflict,
+                                      line_number);
         }
         // simcheck self-test fault: skip the reader-doom walk, letting
         // a concurrent reader commit a stale snapshot (runtime.hh,
@@ -233,7 +233,8 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
                     unsigned(__builtin_ctzll(readers));
                 readers &= readers - 1;
                 runtime_->resolveConflict(*this, reader,
-                                          AbortCause::dataConflict);
+                                          AbortCause::dataConflict,
+                                          line_number);
             }
         }
         line.writer = int(tid_);
@@ -241,10 +242,11 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
     } else {
         if (flags & (lineRead | lineWritten))
             return;
-        ConflictTable::Line& line = table.line(line_number);
+        ConflictLineState& line = runtime_->directoryLine(line_number);
         if (line.writer >= 0 && line.writer != int(tid_)) {
             runtime_->resolveConflict(*this, unsigned(line.writer),
-                                      AbortCause::dataConflict);
+                                      AbortCause::dataConflict,
+                                      line_number);
         }
         line.readers |= std::uint64_t(1) << tid_;
         flags |= lineRead;
@@ -268,9 +270,8 @@ Tx::maybePrefetch(std::uintptr_t addr)
     // developers). Structures an odd number of lines long therefore
     // leak conflicts across their boundaries (kmeans' 192-byte
     // clusters).
-    ConflictTable& table = *runtime_->table_;
-    const std::uintptr_t neighbour = table.lineOf(addr) ^ 1;
-    ConflictTable::Line& line = table.line(neighbour);
+    const std::uintptr_t neighbour = runtime_->conflictLineOf(addr) ^ 1;
+    ConflictLineState& line = runtime_->directoryLine(neighbour);
     if (line.writer >= 0 && line.writer != int(tid_))
         return; // owned elsewhere: the prefetch is dropped
     line.readers |= std::uint64_t(1) << tid_;

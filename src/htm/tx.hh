@@ -24,6 +24,7 @@
 
 #include "abort.hh"
 #include "flat_table.hh"
+#include "site.hh"
 #include "sim/scheduler.hh"
 
 namespace htmsim::htm
@@ -131,6 +132,9 @@ class Tx
     /** Owning simulated thread id. */
     unsigned tid() const { return tid_; }
 
+    /** Static site of the current atomic section (0 = unregistered). */
+    TxSiteId site() const { return site_; }
+
     sim::ThreadContext& ctx() { return *ctx_; }
     sim::Rng& rng() { return ctx_->rng(); }
     Runtime& runtime() { return *runtime_; }
@@ -205,6 +209,12 @@ class Tx
     bool unkillable_ = false;
     bool holdsSpecId_ = false;
     std::uint64_t startOrder_ = 0;
+
+    /// Static site of the enclosing atomic section; persists across
+    /// retries and the global-lock fallback of that section.
+    TxSiteId site_ = unknownTxSite;
+    /// Virtual time the current attempt started (cycle attribution).
+    sim::Cycles attemptStart_ = 0;
 
     /// Sentinel for the last-line memo: no line seen yet. Real line
     /// numbers are addresses shifted right, so all-ones is unreachable.

@@ -1,0 +1,189 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace htmsim::prof
+{
+
+using htm::TxEvent;
+using htm::TxEventKind;
+
+TxProfiler::TxProfiler(std::size_t event_capacity,
+                       std::size_t conflict_capacity)
+{
+    // All memory the run will touch is grabbed here: onEvent and
+    // onConflict must never allocate (see the file comment).
+    events_.reserve(event_capacity);
+    conflicts_.reserve(conflict_capacity);
+}
+
+void
+TxProfiler::onEvent(const htm::TxEvent& event)
+{
+    if (events_.size() < events_.capacity())
+        events_.push_back(event);
+    else
+        ++droppedEvents_;
+}
+
+void
+TxProfiler::onConflict(const htm::TxConflictEvent& event)
+{
+    if (conflicts_.size() < conflicts_.capacity())
+        conflicts_.push_back(event);
+    else
+        ++droppedConflicts_;
+}
+
+void
+TxProfiler::clear()
+{
+    events_.clear();
+    conflicts_.clear();
+    droppedEvents_ = 0;
+    droppedConflicts_ = 0;
+}
+
+ProfileReport
+TxProfiler::report() const
+{
+    ProfileReport result;
+    result.events = events_.size();
+    result.droppedEvents = droppedEvents_;
+    result.conflicts = conflicts_.size();
+    result.droppedConflicts = droppedConflicts_;
+
+    const htm::SiteRegistry& registry = htm::SiteRegistry::instance();
+    std::vector<SiteProfile> sites(registry.size());
+    for (std::size_t id = 0; id < sites.size(); ++id) {
+        sites[id].site = htm::TxSiteId(id);
+        sites[id].name = registry.name(htm::TxSiteId(id));
+    }
+    auto site_of = [&sites](htm::TxSiteId id) -> SiteProfile& {
+        return sites[id < sites.size() ? id : 0];
+    };
+
+    // The abort -> next-begin gap on a thread is the retry stall
+    // (randomized backoff + lemming wait); attribute it to the site
+    // that aborted.
+    struct PendingStall
+    {
+        bool valid = false;
+        htm::TxSiteId site = htm::unknownTxSite;
+        sim::Cycles abortEnd = 0;
+    };
+    std::unordered_map<std::uint16_t, PendingStall> pending;
+
+    for (const TxEvent& event : events_) {
+        SiteProfile& site = site_of(event.site);
+        const sim::Cycles span = event.cycles - event.sectionStart;
+        switch (event.kind) {
+          case TxEventKind::begin: {
+            ++site.attempts;
+            PendingStall& stall = pending[event.tid];
+            if (stall.valid && event.sectionStart >= stall.abortEnd) {
+                site_of(stall.site).stallCycles +=
+                    event.sectionStart - stall.abortEnd;
+            }
+            stall.valid = false;
+            break;
+          }
+          case TxEventKind::commit:
+            ++site.commits;
+            site.committedCycles += span;
+            break;
+          case TxEventKind::abort: {
+            ++site.aborts;
+            site.wastedCycles += span;
+            if (std::size_t(event.cause) < site.abortCauses.size())
+                ++site.abortCauses[std::size_t(event.cause)];
+            pending[event.tid] = {true, event.site, event.cycles};
+            break;
+          }
+          case TxEventKind::lockAcquired:
+            site.lockWaitCycles += span;
+            break;
+          case TxEventKind::lockReleased:
+            break;
+          case TxEventKind::fallbackCommit:
+            ++site.fallbackCommits;
+            site.fallbackCycles += span;
+            break;
+        }
+    }
+
+    for (const SiteProfile& site : sites) {
+        result.committedCycles += site.committedCycles;
+        result.wastedCycles += site.wastedCycles;
+        result.fallbackCycles += site.fallbackCycles;
+    }
+
+    // Conflict matrix: (attacker site, victim site) -> counts plus a
+    // per-line histogram for the hot-line column.
+    struct PairCell
+    {
+        std::uint64_t conflicts = 0;
+        std::uint64_t nonTx = 0;
+        std::unordered_map<std::uintptr_t, std::uint64_t> lines;
+    };
+    std::unordered_map<std::uint32_t, PairCell> cells;
+    for (const htm::TxConflictEvent& event : conflicts_) {
+        const std::uint32_t key =
+            (std::uint32_t(event.attackerSite) << 16) |
+            std::uint32_t(event.victimSite);
+        PairCell& cell = cells[key];
+        ++cell.conflicts;
+        if (event.attackerNonTx)
+            ++cell.nonTx;
+        ++cell.lines[event.line];
+    }
+    result.pairs.reserve(cells.size());
+    for (const auto& [key, cell] : cells) {
+        ConflictPairProfile pair;
+        pair.attacker = htm::TxSiteId(key >> 16);
+        pair.victim = htm::TxSiteId(key & 0xffff);
+        pair.attackerName = registry.name(pair.attacker);
+        pair.victimName = registry.name(pair.victim);
+        pair.conflicts = cell.conflicts;
+        pair.nonTxConflicts = cell.nonTx;
+        pair.distinctLines = cell.lines.size();
+        for (const auto& [line, count] : cell.lines) {
+            if (count > pair.hotLineConflicts ||
+                (count == pair.hotLineConflicts &&
+                 line < pair.hotLine)) {
+                pair.hotLine = line;
+                pair.hotLineConflicts = count;
+            }
+        }
+        result.pairs.push_back(std::move(pair));
+    }
+    std::sort(result.pairs.begin(), result.pairs.end(),
+              [](const ConflictPairProfile& a,
+                 const ConflictPairProfile& b) {
+                  if (a.conflicts != b.conflicts)
+                      return a.conflicts > b.conflicts;
+                  if (a.attacker != b.attacker)
+                      return a.attacker < b.attacker;
+                  return a.victim < b.victim;
+              });
+
+    // Keep only sites that saw any activity, hottest first.
+    sites.erase(std::remove_if(sites.begin(), sites.end(),
+                               [](const SiteProfile& site) {
+                                   return site.attempts == 0 &&
+                                          site.fallbackCommits == 0 &&
+                                          site.lockWaitCycles == 0;
+                               }),
+                sites.end());
+    std::sort(sites.begin(), sites.end(),
+              [](const SiteProfile& a, const SiteProfile& b) {
+                  if (a.totalCycles() != b.totalCycles())
+                      return a.totalCycles() > b.totalCycles();
+                  return a.site < b.site;
+              });
+    result.sites = std::move(sites);
+    return result;
+}
+
+} // namespace htmsim::prof

@@ -1,0 +1,314 @@
+#include "report.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "htm/abort.hh"
+
+namespace htmsim::prof
+{
+
+using htm::TxEvent;
+using htm::TxEventKind;
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string result;
+    result.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': result += "\\\""; break;
+          case '\\': result += "\\\\"; break;
+          case '\n': result += "\\n"; break;
+          case '\r': result += "\\r"; break;
+          case '\t': result += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              unsigned(c));
+                result += buffer;
+            } else {
+                result += c;
+            }
+        }
+    }
+    return result;
+}
+
+namespace
+{
+
+/** Microseconds for trace_event "ts"/"dur" (1 cycle = 1 ns). */
+double
+micros(sim::Cycles cycles)
+{
+    return double(cycles) / 1000.0;
+}
+
+} // namespace
+
+void
+writeProfileJson(std::ostream& out, const RunInfo& info,
+                 const ProfileReport& report)
+{
+    out << "{\n";
+    out << "  \"tool\": \"txprof\",\n";
+    out << "  \"run\": {\n";
+    out << "    \"bench\": \"" << jsonEscape(info.bench) << "\",\n";
+    out << "    \"machine\": \"" << jsonEscape(info.machine) << "\",\n";
+    out << "    \"backend\": \"" << jsonEscape(info.backend) << "\",\n";
+    out << "    \"threads\": " << info.threads << ",\n";
+    out << "    \"seed\": " << info.seed << ",\n";
+    out << "    \"tmCycles\": " << info.tmCycles << ",\n";
+    out << "    \"seqCycles\": " << info.seqCycles << ",\n";
+    out << "    \"speedup\": " << info.speedup << ",\n";
+    out << "    \"commits\": " << info.stats.totalCommits() << ",\n";
+    out << "    \"aborts\": " << info.stats.totalAborts() << ",\n";
+    out << "    \"abortRatio\": " << info.stats.abortRatio() << ",\n";
+    out << "    \"serializationRatio\": "
+        << info.stats.serializationRatio() << ",\n";
+    out << "    \"wastedWorkRatio\": "
+        << info.stats.wastedWorkRatio() << ",\n";
+    out << "    \"committedTxCycles\": "
+        << info.stats.committedTxCycles << ",\n";
+    out << "    \"wastedTxCycles\": " << info.stats.wastedTxCycles
+        << ",\n";
+    out << "    \"fallbackCycles\": " << info.stats.fallbackCycles
+        << ",\n";
+    out << "    \"lockWaitCycles\": " << info.stats.lockWaitCycles
+        << ",\n";
+    out << "    \"backoffCycles\": " << info.stats.backoffCycles
+        << "\n";
+    out << "  },\n";
+    out << "  \"capture\": {\n";
+    out << "    \"events\": " << report.events << ",\n";
+    out << "    \"droppedEvents\": " << report.droppedEvents << ",\n";
+    out << "    \"conflicts\": " << report.conflicts << ",\n";
+    out << "    \"droppedConflicts\": " << report.droppedConflicts
+        << "\n";
+    out << "  },\n";
+
+    out << "  \"sites\": [\n";
+    for (std::size_t i = 0; i < report.sites.size(); ++i) {
+        const SiteProfile& site = report.sites[i];
+        out << "    {\n";
+        out << "      \"site\": " << site.site << ",\n";
+        out << "      \"name\": \"" << jsonEscape(site.name)
+            << "\",\n";
+        out << "      \"attempts\": " << site.attempts << ",\n";
+        out << "      \"commits\": " << site.commits << ",\n";
+        out << "      \"aborts\": " << site.aborts << ",\n";
+        out << "      \"fallbackCommits\": " << site.fallbackCommits
+            << ",\n";
+        out << "      \"committedCycles\": " << site.committedCycles
+            << ",\n";
+        out << "      \"wastedCycles\": " << site.wastedCycles
+            << ",\n";
+        out << "      \"fallbackCycles\": " << site.fallbackCycles
+            << ",\n";
+        out << "      \"stallCycles\": " << site.stallCycles << ",\n";
+        out << "      \"lockWaitCycles\": " << site.lockWaitCycles
+            << ",\n";
+        out << "      \"abortRatio\": " << site.abortRatio() << ",\n";
+        out << "      \"wastedWorkRatio\": " << site.wastedWorkRatio()
+            << ",\n";
+        out << "      \"abortCauses\": {";
+        bool first = true;
+        for (std::size_t cause = 0; cause < site.abortCauses.size();
+             ++cause) {
+            if (site.abortCauses[cause] == 0)
+                continue;
+            if (!first)
+                out << ", ";
+            first = false;
+            out << "\""
+                << jsonEscape(
+                       htm::abortCauseName(htm::AbortCause(cause)))
+                << "\": " << site.abortCauses[cause];
+        }
+        out << "}\n";
+        out << "    }" << (i + 1 < report.sites.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ],\n";
+
+    out << "  \"conflictPairs\": [\n";
+    for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+        const ConflictPairProfile& pair = report.pairs[i];
+        out << "    {\n";
+        out << "      \"attacker\": \""
+            << jsonEscape(pair.attackerName) << "\",\n";
+        out << "      \"victim\": \"" << jsonEscape(pair.victimName)
+            << "\",\n";
+        out << "      \"conflicts\": " << pair.conflicts << ",\n";
+        out << "      \"nonTxConflicts\": " << pair.nonTxConflicts
+            << ",\n";
+        out << "      \"distinctLines\": " << pair.distinctLines
+            << ",\n";
+        out << "      \"hotLine\": \"0x" << std::hex << pair.hotLine
+            << std::dec << "\",\n";
+        out << "      \"hotLineConflicts\": " << pair.hotLineConflicts
+            << "\n";
+        out << "    }" << (i + 1 < report.pairs.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
+void
+writePerfettoTrace(std::ostream& out, const RunInfo& info,
+                   const TxProfiler& profiler)
+{
+    const htm::SiteRegistry& registry = htm::SiteRegistry::instance();
+    out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+
+    out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"args\": {\"name\": \"htmsim "
+        << jsonEscape(info.bench) << " on "
+        << jsonEscape(info.machine) << "\"}}";
+
+    auto slice = [&](const char* name, const char* category,
+                     std::uint16_t tid, sim::Cycles start,
+                     sim::Cycles end, const std::string& args) {
+        out << ",\n{\"name\": \"" << name << "\", \"cat\": \""
+            << category << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+            << tid << ", \"ts\": " << micros(start)
+            << ", \"dur\": " << micros(end - start);
+        if (!args.empty())
+            out << ", \"args\": {" << args << "}";
+        out << "}";
+    };
+
+    for (const TxEvent& event : profiler.events()) {
+        const std::string site =
+            jsonEscape(registry.name(event.site));
+        switch (event.kind) {
+          case TxEventKind::commit:
+            slice(site.c_str(), "tx", event.tid, event.sectionStart,
+                  event.cycles, "\"outcome\": \"commit\"");
+            break;
+          case TxEventKind::abort:
+            slice(site.c_str(), "abort", event.tid,
+                  event.sectionStart, event.cycles,
+                  std::string("\"outcome\": \"abort\", \"cause\": \"") +
+                      jsonEscape(htm::abortCauseName(event.cause)) +
+                      "\"");
+            break;
+          case TxEventKind::fallbackCommit:
+            slice(site.c_str(), "fallback", event.tid,
+                  event.sectionStart, event.cycles,
+                  "\"outcome\": \"fallback\"");
+            break;
+          case TxEventKind::lockAcquired:
+            if (event.cycles > event.sectionStart) {
+                slice("lock wait", "lock", event.tid,
+                      event.sectionStart, event.cycles,
+                      "\"site\": \"" + site + "\"");
+            }
+            break;
+          case TxEventKind::lockReleased:
+            slice("lock held", "lock", event.tid, event.sectionStart,
+                  event.cycles, "\"site\": \"" + site + "\"");
+            break;
+          case TxEventKind::begin:
+            break;
+        }
+    }
+
+    char line[32];
+    for (const htm::TxConflictEvent& event : profiler.conflicts()) {
+        std::snprintf(line, sizeof(line), "0x%" PRIxPTR, event.line);
+        out << ",\n{\"name\": \"conflict\", \"cat\": \"conflict\", "
+               "\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": "
+            << event.victimTid << ", \"ts\": " << micros(event.cycles)
+            << ", \"args\": {\"attacker\": \""
+            << jsonEscape(registry.name(event.attackerSite))
+            << "\", \"victim\": \""
+            << jsonEscape(registry.name(event.victimSite))
+            << "\", \"nonTxAttacker\": "
+            << (event.attackerNonTx ? "true" : "false")
+            << ", \"line\": \"" << line << "\"}}";
+    }
+
+    out << "\n]\n}\n";
+}
+
+void
+printReport(std::FILE* out, const RunInfo& info,
+            const ProfileReport& report, std::size_t top_pairs)
+{
+    std::fprintf(out,
+                 "txprof: %s on %s, %u thread(s), backend %s, seed "
+                 "%" PRIu64 "\n",
+                 info.bench.c_str(), info.machine.c_str(),
+                 info.threads, info.backend.c_str(), info.seed);
+    if (info.seqCycles != 0) {
+        std::fprintf(out,
+                     "  cycles: seq %" PRIu64 "  tm %" PRIu64
+                     "  speed-up %.2fx\n",
+                     info.seqCycles, info.tmCycles, info.speedup);
+    }
+    std::fprintf(out,
+                 "  run: commits %" PRIu64 "  aborts %" PRIu64
+                 " (%.1f%%)  serialization %.1f%%  wasted work "
+                 "%.1f%%\n",
+                 info.stats.totalCommits(), info.stats.totalAborts(),
+                 info.stats.abortRatio() * 100.0,
+                 info.stats.serializationRatio() * 100.0,
+                 info.stats.wastedWorkRatio() * 100.0);
+    if (report.droppedEvents != 0 || report.droppedConflicts != 0) {
+        std::fprintf(out,
+                     "  WARNING: capture truncated (%" PRIu64
+                     " events, %" PRIu64
+                     " conflicts dropped); profile is partial\n",
+                     report.droppedEvents, report.droppedConflicts);
+    }
+
+    std::fprintf(out, "\n  %-28s %8s %8s %7s %6s %9s %9s %9s %7s\n",
+                 "site", "commits", "aborts", "fallbk", "abort%",
+                 "useful-kc", "wasted-kc", "stall-kc", "waste%");
+    for (const SiteProfile& site : report.sites) {
+        std::fprintf(out,
+                     "  %-28s %8" PRIu64 " %8" PRIu64 " %7" PRIu64
+                     " %5.1f%% %9.1f %9.1f %9.1f %6.1f%%\n",
+                     site.name.c_str(), site.commits, site.aborts,
+                     site.fallbackCommits, site.abortRatio() * 100.0,
+                     double(site.committedCycles +
+                            site.fallbackCycles) /
+                         1000.0,
+                     double(site.wastedCycles) / 1000.0,
+                     double(site.stallCycles + site.lockWaitCycles) /
+                         1000.0,
+                     site.wastedWorkRatio() * 100.0);
+    }
+
+    if (report.pairs.empty()) {
+        std::fprintf(out, "\n  no conflicts recorded\n");
+        return;
+    }
+    std::fprintf(out, "\n  top conflicting site pairs:\n");
+    std::fprintf(out, "  %-28s %-28s %9s %7s %6s\n", "winner",
+                 "aborted", "conflicts", "non-tx", "lines");
+    const std::size_t shown =
+        std::min(top_pairs, report.pairs.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const ConflictPairProfile& pair = report.pairs[i];
+        std::fprintf(out,
+                     "  %-28s %-28s %9" PRIu64 " %7" PRIu64
+                     " %5zu  (hot line 0x%" PRIxPTR ": %" PRIu64
+                     ")\n",
+                     pair.attackerName.c_str(),
+                     pair.victimName.c_str(), pair.conflicts,
+                     pair.nonTxConflicts, pair.distinctLines,
+                     pair.hotLine, pair.hotLineConflicts);
+    }
+    if (shown < report.pairs.size()) {
+        std::fprintf(out, "  ... %zu more pair(s)\n",
+                     report.pairs.size() - shown);
+    }
+}
+
+} // namespace htmsim::prof

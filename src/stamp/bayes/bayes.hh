@@ -59,7 +59,9 @@ class BayesApp
         for (;;) {
             std::uint64_t var = 0;
             bool have_task = false;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId pickSite =
+                htm::txSite("bayes.pickTask");
+            exec.atomic(pickSite, [&](auto& c) {
                 have_task = taskList_->popFront(c, &var, nullptr);
             });
             if (!have_task)
@@ -113,7 +115,9 @@ class BayesApp
 
         // Transactionally re-validate and apply.
         bool applied = false;
-        exec.atomic([&](auto& c) {
+        static const htm::TxSiteId applySite =
+            htm::txSite("bayes.applyDependency");
+        exec.atomic(applySite, [&](auto& c) {
             applied = false;
             // The parent set must be unchanged since scoring.
             if (c.load(&parentCount_[var]) !=
@@ -138,7 +142,9 @@ class BayesApp
         if (applied) {
             totalGainShared_[exec.tid()] += best_gain;
             // Re-queue the variable: more parents may help.
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId requeueSite =
+                htm::txSite("bayes.requeue");
+            exec.atomic(requeueSite, [&](auto& c) {
                 taskList_->insert(c, var, 0);
             });
         }

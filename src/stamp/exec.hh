@@ -41,6 +41,14 @@ class TmExec
         runtime_->atomic(*ctx_, std::forward<F>(body));
     }
 
+    /** atomic() tagged with a static site id (txprof attribution). */
+    template <typename F>
+    void
+    atomic(htm::TxSiteId site, F&& body)
+    {
+        runtime_->atomic(*ctx_, site, std::forward<F>(body));
+    }
+
     /** Rendezvous with all worker threads. */
     void barrier() { barrier_->arrive(*ctx_); }
 
@@ -107,6 +115,14 @@ class HleExec
         lock_->execute(*runtime_, *ctx_, std::forward<F>(body));
     }
 
+    /** atomic() tagged with a static site id (txprof attribution). */
+    template <typename F>
+    void
+    atomic(htm::TxSiteId site, F&& body)
+    {
+        lock_->execute(*runtime_, *ctx_, site, std::forward<F>(body));
+    }
+
     void barrier() { barrier_->arrive(*ctx_); }
     void work(sim::Cycles cycles) { ctx_->step(cycles); }
 
@@ -158,6 +174,14 @@ class SeqExec
     template <typename F>
     void
     atomic(F&& body)
+    {
+        body(seq_);
+    }
+
+    /** Site ids are a profiling concept; sequential runs ignore them. */
+    template <typename F>
+    void
+    atomic(htm::TxSiteId, F&& body)
     {
         body(seq_);
     }

@@ -121,7 +121,9 @@ class GenomeApp
             if (begin >= total)
                 break;
             const unsigned end = std::min(begin + chunk, total);
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId dedupSite =
+                htm::txSite("genome.dedupSegments");
+            exec.atomic(dedupSite, [&](auto& c) {
                 for (unsigned i = begin; i < end; ++i) {
                     const char* chars = samples_[i].chars;
                     const std::uint64_t h = hashChars(c, chars, s);
@@ -177,7 +179,9 @@ class GenomeApp
             }
             if (batch.empty())
                 continue;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId linkStartSite =
+                htm::txSite("genome.linkStarts");
+            exec.atomic(linkStartSite, [&](auto& c) {
                 for (GenomeSegment* entry : batch) {
                     if (c.load(&entry->startLinked) != 0)
                         continue;
@@ -210,7 +214,9 @@ class GenomeApp
             }
             if (batch.empty())
                 continue;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId linkEndSite =
+                htm::txSite("genome.linkEnds");
+            exec.atomic(linkEndSite, [&](auto& c) {
                 for (GenomeSegment* entry : batch) {
                     if (c.load(&entry->endLinked) != 0)
                         continue;

@@ -158,7 +158,9 @@ class IntruderAppT
     {
         for (;;) {
             IntruderFragment* fragment = nullptr;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId popSite =
+                htm::txSite("intruder.popFragment");
+            exec.atomic(popSite, [&](auto& c) {
                 std::uint64_t raw = 0;
                 fragment = inputQueue_->pop(c, &raw)
                                ? reinterpret_cast<IntruderFragment*>(
@@ -170,7 +172,9 @@ class IntruderAppT
 
             char* assembled = nullptr;
             std::uint64_t assembled_length = 0;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId assembleSite =
+                htm::txSite("intruder.assemble");
+            exec.atomic(assembleSite, [&](auto& c) {
                 assembled = nullptr;
                 assembled_length = 0;
                 decode(c, fragment, &assembled, &assembled_length);

@@ -112,7 +112,9 @@ class KmeansApp
                 exec.work(sim::Cycles(3) * params_.numClusters * dims);
                 membership_[point] = cluster;
 
-                exec.atomic([&](auto& c) {
+                static const htm::TxSiteId accumulateSite =
+                    htm::txSite("kmeans.accumulate");
+                exec.atomic(accumulateSite, [&](auto& c) {
                     std::uint32_t* count = countOf(cluster);
                     c.store(count, c.load(count) + 1);
                     for (unsigned d = 0; d < dims; ++d) {

@@ -54,7 +54,9 @@ class LabyrinthApp
             if (index >= params_.numPaths)
                 break;
             bool routed = false;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId routeSite =
+                htm::txSite("labyrinth.routePath");
+            exec.atomic(routeSite, [&](auto& c) {
                 routed = routeOne(c, exec.tid(), index);
             });
             routed_[index] = routed ? 1 : 0;

@@ -54,7 +54,9 @@ class Ssca2App
                 std::min<unsigned>(begin + params_.chunkSize, edges);
             for (unsigned e = begin; e < end; ++e) {
                 const std::uint32_t u = edgeSources_[e];
-                exec.atomic([&](auto& c) {
+                static const htm::TxSiteId degreeSite =
+                    htm::txSite("ssca2.countDegree");
+                exec.atomic(degreeSite, [&](auto& c) {
                     c.store(&degree_[u], c.load(&degree_[u]) + 1);
                 });
                 exec.work(140); // per-edge decode/bookkeeping compute
@@ -85,7 +87,9 @@ class Ssca2App
             for (unsigned e = begin; e < end; ++e) {
                 const std::uint32_t u = edgeSources_[e];
                 const std::uint32_t v = edgeTargets_[e];
-                exec.atomic([&](auto& c) {
+                static const htm::TxSiteId adjacencySite =
+                    htm::txSite("ssca2.insertAdjacency");
+                exec.atomic(adjacencySite, [&](auto& c) {
                     const std::uint64_t slot = c.load(&fill_[u]);
                     c.store(&fill_[u], slot + 1);
                     c.store(&adjacency_[offset_[u] + slot],

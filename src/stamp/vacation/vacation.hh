@@ -231,7 +231,9 @@ class VacationAppT
         const std::uint64_t customer_id =
             1 + exec.rng().nextRange(params_.numCustomers);
 
-        exec.atomic([&](auto& c) {
+        static const htm::TxSiteId reserveSite =
+            htm::txSite("vacation.makeReservation");
+        exec.atomic(reserveSite, [&](auto& c) {
             // Find the cheapest available item of each kind among the
             // queried ones, then reserve it for the customer.
             std::array<Reservation*, numKinds> best{};
@@ -283,7 +285,9 @@ class VacationAppT
     {
         const std::uint64_t customer_id =
             1 + exec.rng().nextRange(params_.numCustomers);
-        exec.atomic([&](auto& c) {
+        static const htm::TxSiteId deleteSite =
+            htm::txSite("vacation.deleteCustomer");
+        exec.atomic(deleteSite, [&](auto& c) {
             std::uint64_t raw_customer = 0;
             if (!customers_->find(c, customer_id, &raw_customer))
                 return;
@@ -312,7 +316,9 @@ class VacationAppT
         const std::uint64_t id = randomItem(exec.rng());
         const bool grow = exec.rng().nextBool(0.5);
         const std::uint64_t delta = 1 + exec.rng().nextRange(3);
-        exec.atomic([&](auto& c) {
+        static const htm::TxSiteId updateSite =
+            htm::txSite("vacation.updateTables");
+        exec.atomic(updateSite, [&](auto& c) {
             std::uint64_t raw = 0;
             if (!relations_[kind]->find(c, id, &raw))
                 return;

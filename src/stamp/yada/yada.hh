@@ -122,7 +122,9 @@ class YadaApp
             // TMheap_remove is its own transaction too).
             YadaTriangle* target = nullptr;
             bool heap_empty = false;
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId popSite =
+                htm::txSite("yada.popBadTriangle");
+            exec.atomic(popSite, [&](auto& c) {
                 target = nullptr;
                 heap_empty = false;
                 std::uint64_t raw = 0;
@@ -141,7 +143,9 @@ class YadaApp
             // disjoint cavities can refine concurrently.
             bool inserted = false;
             created.clear();
-            exec.atomic([&](auto& c) {
+            static const htm::TxSiteId refineSite =
+                htm::txSite("yada.refineCavity");
+            exec.atomic(refineSite, [&](auto& c) {
                 created.clear();
                 inserted = false;
                 if (c.load(&target->alive) == 0)
@@ -157,7 +161,9 @@ class YadaApp
             // Transaction 3: queue the new bad triangles (a separate,
             // small transaction, like STAMP's heap maintenance).
             if (!created.empty()) {
-                exec.atomic([&](auto& c) {
+                static const htm::TxSiteId queueSite =
+                    htm::txSite("yada.queueBadTriangles");
+                exec.atomic(queueSite, [&](auto& c) {
                     for (YadaTriangle* triangle : created) {
                         if (c.load(&triangle->alive) == 0)
                             continue; // already re-consumed

@@ -119,7 +119,10 @@ TlsKernel::tlsWorker(Runtime& runtime, ThreadContext& ctx,
                 break;
             }
 
-            const AbortCause cause = runtime.tryOnce(ctx, [&](Tx& tx) {
+            static const htm::TxSiteId specSite =
+                htm::txSite("tls.speculativeIteration");
+            const AbortCause cause =
+                runtime.tryOnce(ctx, specSite, [&](Tx& tx) {
                 executeIteration(tx, i);
                 if (use_suspend_resume) {
                     // Figure 8(b), light grey: wait for our turn

@@ -133,7 +133,8 @@ htm::TxEvent
 event(htm::TxEventKind kind, unsigned tid, sim::Cycles cycles,
       htm::AbortCause cause = htm::AbortCause::none)
 {
-    return {kind, cause, std::uint16_t(tid), cycles};
+    return {kind, cause, std::uint16_t(tid), htm::unknownTxSite,
+            cycles, 0};
 }
 
 TEST(EventRing, KeepsEverythingBelowCapacity)

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * txprof subsystem tests.
+ *
+ * The critical property is zero perturbation: attaching a TxProfiler
+ * must not change the simulation by a single cycle. Simulated results
+ * depend on host heap addresses, so the A/B comparison forks both the
+ * profiled and the unprofiled run from the same parent image (the same
+ * technique as test_determinism.cc) and demands bit-identical metrics
+ * across the full tuning grid.
+ *
+ * The attribution tests drive a scripted two-site workload whose
+ * conflict structure is known by construction and check that the
+ * conflict matrix names the right sites and the right line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "bench/suite.hh"
+#include "prof/profiler.hh"
+#include "prof/report.hh"
+
+namespace
+{
+
+using namespace htmsim;
+
+// ---- zero perturbation ------------------------------------------------
+
+/// One tuning candidate's simulated outcome; trivially copyable so a
+/// child can ship the whole grid over a pipe in one write.
+struct CandidateMetrics
+{
+    std::uint64_t seqCycles = 0;
+    std::uint64_t tmCycles = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t committedTxCycles = 0;
+    std::uint64_t wastedTxCycles = 0;
+    std::array<std::uint64_t, 8> causes{};
+
+    bool
+    operator==(const CandidateMetrics& other) const = default;
+};
+
+constexpr unsigned kThreads = 4;
+constexpr std::uint64_t kSeed = 1;
+
+/// Run the full tuning grid for one cell in a forked child — with or
+/// without a TxProfiler attached — and collect the metrics in the
+/// parent.
+bool
+runGridForked(const std::string& bench,
+              const htm::MachineConfig& machine, bool profiled,
+              std::vector<CandidateMetrics>& grid)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return false;
+    const pid_t child = ::fork();
+    if (child < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (child == 0) {
+        ::close(fds[0]);
+        bench::SuiteRunner runner(false);
+        auto configs = bench::SuiteRunner::tuningCandidates(machine);
+        prof::TxProfiler profiler;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (profiled) {
+                profiler.clear();
+                configs[i].observer = &profiler;
+            }
+            CandidateMetrics& metrics = grid[i];
+            const stamp::Speedup speedup = runner.run(
+                bench, configs[i], machine, kThreads, true, kSeed);
+            metrics.seqCycles = speedup.seq.cycles;
+            metrics.tmCycles = speedup.tm.cycles;
+            metrics.commits = speedup.tm.stats.totalCommits();
+            metrics.aborts = speedup.tm.stats.totalAborts();
+            metrics.committedTxCycles =
+                speedup.tm.stats.committedTxCycles;
+            metrics.wastedTxCycles = speedup.tm.stats.wastedTxCycles;
+            metrics.causes = speedup.tm.stats.trueCauseAborts;
+        }
+        const char* cursor =
+            reinterpret_cast<const char*>(grid.data());
+        std::size_t remaining = grid.size() * sizeof(grid[0]);
+        while (remaining > 0) {
+            const ssize_t written = ::write(fds[1], cursor, remaining);
+            if (written <= 0)
+                ::_exit(2);
+            cursor += written;
+            remaining -= std::size_t(written);
+        }
+        ::_exit(0);
+    }
+    ::close(fds[1]);
+    char* cursor = reinterpret_cast<char*>(grid.data());
+    std::size_t remaining = grid.size() * sizeof(grid[0]);
+    bool ok = true;
+    while (remaining > 0) {
+        const ssize_t got = ::read(fds[0], cursor, remaining);
+        if (got <= 0) {
+            ok = false;
+            break;
+        }
+        cursor += got;
+        remaining -= std::size_t(got);
+    }
+    ::close(fds[0]);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    return ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+TEST(ProfPerturbation, ProfiledRunIsBitIdenticalToUnprofiled)
+{
+    const htm::MachineConfig machine = htm::MachineConfig::all()[2];
+    const std::string bench = "vacation-low";
+    const std::size_t candidates =
+        bench::SuiteRunner::tuningCandidates(machine).size();
+    ASSERT_GT(candidates, 0u);
+
+    // Preallocate both result buffers before the first fork so the
+    // two children start from the same parent heap image.
+    std::vector<CandidateMetrics> plain(candidates);
+    std::vector<CandidateMetrics> profiled(candidates);
+
+    ASSERT_TRUE(runGridForked(bench, machine, false, plain));
+    ASSERT_TRUE(runGridForked(bench, machine, true, profiled));
+
+    for (std::size_t i = 0; i < candidates; ++i) {
+        SCOPED_TRACE("candidate " + std::to_string(i));
+        EXPECT_EQ(plain[i], profiled[i]);
+    }
+
+    // The cell must actually exercise contention, or bit-identity
+    // would be vacuous.
+    std::uint64_t total_aborts = 0;
+    for (const CandidateMetrics& metrics : plain)
+        total_aborts += metrics.aborts;
+    EXPECT_GT(total_aborts, 0u);
+}
+
+// ---- scripted two-site workload ---------------------------------------
+
+struct alignas(256) SharedWord
+{
+    std::uint64_t value = 0;
+};
+
+/// Two threads, two sites: writerAB increments A, dawdles, then
+/// increments B; writerB increments only B. A and B live on different
+/// conflict lines, so every tx/tx conflict is on B's line.
+struct ScriptedRun
+{
+    htm::TxSiteId siteAB;
+    htm::TxSiteId siteB;
+    std::uintptr_t lineA = 0;
+    std::uintptr_t lineB = 0;
+    htm::TxStats stats;
+    std::uint64_t finalA = 0;
+    std::uint64_t finalB = 0;
+
+    static constexpr unsigned iterations = 400;
+};
+
+ScriptedRun
+runScripted(prof::TxProfiler& profiler)
+{
+    ScriptedRun result;
+    result.siteAB = htm::txSite("test.writerAB");
+    result.siteB = htm::txSite("test.writerB");
+
+    const htm::MachineConfig& machine = htm::MachineConfig::all()[2];
+    htm::RuntimeConfig config{machine};
+    config.observer = &profiler;
+
+    SharedWord a;
+    SharedWord b;
+    sim::Scheduler scheduler(1);
+    htm::Runtime runtime(config, 2);
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        for (unsigned i = 0; i < ScriptedRun::iterations; ++i) {
+            runtime.atomic(ctx, result.siteAB, [&](htm::Tx& tx) {
+                tx.store(&a.value, tx.load(&a.value) + 1);
+                tx.work(200);
+                tx.store(&b.value, tx.load(&b.value) + 1);
+            });
+            ctx.advance(50);
+        }
+    });
+    scheduler.spawn([&](sim::ThreadContext& ctx) {
+        for (unsigned i = 0; i < ScriptedRun::iterations; ++i) {
+            runtime.atomic(ctx, result.siteB, [&](htm::Tx& tx) {
+                tx.store(&b.value, tx.load(&b.value) + 1);
+            });
+            ctx.advance(30);
+        }
+    });
+    scheduler.run();
+
+    std::size_t shift = 0;
+    while ((std::size_t(1) << shift) < runtime.effectiveGranularity())
+        ++shift;
+    result.lineA = std::uintptr_t(&a.value) >> shift;
+    result.lineB = std::uintptr_t(&b.value) >> shift;
+    result.stats = runtime.stats();
+    result.finalA = a.value;
+    result.finalB = b.value;
+    return result;
+}
+
+TEST(ProfAttribution, ConflictMatrixNamesTheRightSitesAndLine)
+{
+    prof::TxProfiler profiler;
+    const ScriptedRun run = runScripted(profiler);
+
+    ASSERT_EQ(run.finalA, ScriptedRun::iterations);
+    ASSERT_EQ(run.finalB, 2 * ScriptedRun::iterations);
+    ASSERT_GT(run.stats.totalAborts(), 0u);
+
+    // Raw conflict events: every tx/tx conflict is on B's line and
+    // between the two scripted sites.
+    std::uint64_t tx_conflicts = 0;
+    for (const htm::TxConflictEvent& event : profiler.conflicts()) {
+        if (event.attackerNonTx)
+            continue;
+        ++tx_conflicts;
+        EXPECT_NE(event.line, run.lineA);
+        EXPECT_EQ(event.line, run.lineB);
+        EXPECT_TRUE(event.attackerSite == run.siteAB ||
+                    event.attackerSite == run.siteB);
+        EXPECT_TRUE(event.victimSite == run.siteAB ||
+                    event.victimSite == run.siteB);
+        EXPECT_NE(event.attackerTid, event.victimTid);
+    }
+    EXPECT_GT(tx_conflicts, 0u);
+
+    // Aggregated matrix: the top pair is made of the scripted sites,
+    // its hot line is B's line, and the cell counts every tx/tx plus
+    // nonTx conflict exactly once.
+    const prof::ProfileReport report = profiler.report();
+    ASSERT_FALSE(report.pairs.empty());
+    std::uint64_t matrix_total = 0;
+    for (const prof::ConflictPairProfile& pair : report.pairs)
+        matrix_total += pair.conflicts;
+    EXPECT_EQ(matrix_total, profiler.conflicts().size());
+    const prof::ConflictPairProfile& top = report.pairs.front();
+    EXPECT_TRUE(top.attacker == run.siteAB ||
+                top.attacker == run.siteB);
+    EXPECT_TRUE(top.victim == run.siteAB || top.victim == run.siteB);
+    EXPECT_GE(top.conflicts, top.hotLineConflicts);
+    EXPECT_GE(top.distinctLines, 1u);
+}
+
+TEST(ProfAttribution, CycleAttributionIsConsistent)
+{
+    prof::TxProfiler profiler;
+    const ScriptedRun run = runScripted(profiler);
+    const prof::ProfileReport report = profiler.report();
+
+    // Per-site commit/abort counts must add up to the run totals.
+    std::uint64_t commits = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t aborts = 0;
+    for (const prof::SiteProfile& site : report.sites) {
+        commits += site.commits;
+        fallbacks += site.fallbackCommits;
+        aborts += site.aborts;
+        EXPECT_GE(site.attempts, site.commits + site.aborts);
+        EXPECT_GE(site.wastedWorkRatio(), 0.0);
+        EXPECT_LE(site.wastedWorkRatio(), 1.0);
+    }
+    EXPECT_EQ(commits, run.stats.htmCommits +
+                           run.stats.constrainedCommits);
+    EXPECT_EQ(fallbacks, run.stats.irrevocableCommits);
+    EXPECT_EQ(aborts, run.stats.totalAborts());
+
+    // Event-derived cycles must agree with the runtime's always-on
+    // attribution counters (the event stream is complete here).
+    ASSERT_FALSE(profiler.truncated());
+    EXPECT_EQ(report.committedCycles, run.stats.committedTxCycles);
+    EXPECT_EQ(report.wastedCycles, run.stats.wastedTxCycles);
+    EXPECT_GT(report.committedCycles, 0u);
+    EXPECT_GT(report.wastedCycles, 0u);
+}
+
+TEST(ProfSiteRegistry, InterningIsIdempotentAndNamed)
+{
+    const htm::TxSiteId first = htm::txSite("test.registry.site");
+    const htm::TxSiteId again = htm::txSite("test.registry.site");
+    EXPECT_EQ(first, again);
+    EXPECT_NE(first, htm::unknownTxSite);
+    EXPECT_EQ(htm::SiteRegistry::instance().name(first),
+              "test.registry.site");
+
+    const htm::TxSiteId other = htm::txSite("test.registry.other");
+    EXPECT_NE(first, other);
+
+    EXPECT_EQ(htm::SiteRegistry::instance().name(htm::unknownTxSite),
+              "<unknown>");
+    EXPECT_EQ(htm::SiteRegistry::instance().name(htm::TxSiteId(65535)),
+              "<unknown>");
+    EXPECT_GE(htm::SiteRegistry::instance().size(), 3u);
+}
+
+TEST(ProfExport, JsonAndPerfettoDocumentsAreWellFormed)
+{
+    prof::TxProfiler profiler;
+    const ScriptedRun run = runScripted(profiler);
+    const prof::ProfileReport report = profiler.report();
+
+    prof::RunInfo info;
+    info.bench = "scripted";
+    info.machine = "Intel Core i7-4770";
+    info.backend = "htm";
+    info.threads = 2;
+    info.seed = 1;
+    info.tmCycles = 1000;
+    info.seqCycles = 2000;
+    info.speedup = 2.0;
+    info.stats = run.stats;
+
+    std::ostringstream json;
+    prof::writeProfileJson(json, info, report);
+    const std::string doc = json.str();
+    EXPECT_NE(doc.find("\"tool\": \"txprof\""), std::string::npos);
+    EXPECT_NE(doc.find("\"sites\""), std::string::npos);
+    EXPECT_NE(doc.find("\"conflictPairs\""), std::string::npos);
+    EXPECT_NE(doc.find("test.writerAB"), std::string::npos);
+    EXPECT_NE(doc.find("test.writerB"), std::string::npos);
+    // Crude balance check (no quoting subtleties in our output).
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+              std::count(doc.begin(), doc.end(), ']'));
+
+    std::ostringstream trace;
+    prof::writePerfettoTrace(trace, info, profiler);
+    const std::string tdoc = trace.str();
+    EXPECT_NE(tdoc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(tdoc.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(tdoc.find("test.writerAB"), std::string::npos);
+    EXPECT_EQ(std::count(tdoc.begin(), tdoc.end(), '{'),
+              std::count(tdoc.begin(), tdoc.end(), '}'));
+    EXPECT_EQ(std::count(tdoc.begin(), tdoc.end(), '['),
+              std::count(tdoc.begin(), tdoc.end(), ']'));
+
+    EXPECT_EQ(prof::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ProfCapture, OverflowDropsInsteadOfGrowing)
+{
+    prof::TxProfiler tiny(4, 2);
+    const htm::TxEvent event{htm::TxEventKind::begin,
+                             htm::AbortCause::none,
+                             0,
+                             htm::unknownTxSite,
+                             10,
+                             0};
+    for (int i = 0; i < 10; ++i)
+        tiny.onEvent(event);
+    EXPECT_EQ(tiny.events().size(), 4u);
+    EXPECT_EQ(tiny.droppedEvents(), 6u);
+    EXPECT_TRUE(tiny.truncated());
+
+    tiny.clear();
+    EXPECT_TRUE(tiny.events().empty());
+    EXPECT_FALSE(tiny.truncated());
+    tiny.onEvent(event);
+    EXPECT_EQ(tiny.events().size(), 1u);
+}
+
+} // namespace
