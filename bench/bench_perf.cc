@@ -30,6 +30,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "access_micro.hh"
 #include "suite.hh"
 
 namespace
@@ -245,14 +246,21 @@ int
 main(int argc, char** argv)
 {
     const char* output_path = "BENCH_perf.json";
+    bool batch = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-o") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
-                             "usage: %s [-o output.json]\n", argv[0]);
+                             "usage: %s [--no-batch] [-o output.json]\n",
+                             argv[0]);
                 return 2;
             }
             output_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+            // Escape hatch: disable the epoch-batched sync() fast
+            // path (DESIGN.md Section 5). Simulated metrics must be
+            // bit-identical either way; only host time may differ.
+            batch = false;
         } else {
             output_path = argv[i];
         }
@@ -269,24 +277,38 @@ main(int argc, char** argv)
             CellResult cell;
             cell.bench = bench;
             cell.machine = machine.name;
-            for (const htm::RuntimeConfig& config :
-                 bench::SuiteRunner::tuningCandidates(machine)) {
-                CandidateResult candidate;
-                if (use_fork) {
-                    if (!runCandidateForked(bench, machine, config,
-                                            threads, seed,
-                                            candidate)) {
-                        std::fprintf(stderr,
-                                     "cell %s/%s failed in child\n",
-                                     bench.c_str(),
-                                     machine.name.c_str());
-                        return 1;
-                    }
-                } else {
-                    candidate = runCandidate(bench, machine, config,
-                                             threads, seed);
+            // Children inherit the parent's heap image, and the
+            // simulated metrics hash heap addresses — so the
+            // candidate vector is scoped to die before the cell is
+            // appended, exactly where a ranged-for temporary would.
+            // Letting it outlive the push_back reorders the parent's
+            // allocations and shifts every later cell's metrics.
+            {
+                auto candidates =
+                    bench::SuiteRunner::tuningCandidates(machine);
+                if (!batch) {
+                    for (htm::RuntimeConfig& config : candidates)
+                        config.batchEpoch = false;
                 }
-                cell.candidates.push_back(candidate);
+                for (const htm::RuntimeConfig& config : candidates) {
+                    CandidateResult candidate;
+                    if (use_fork) {
+                        if (!runCandidateForked(bench, machine,
+                                                config, threads, seed,
+                                                candidate)) {
+                            std::fprintf(
+                                stderr,
+                                "cell %s/%s failed in child\n",
+                                bench.c_str(), machine.name.c_str());
+                            return 1;
+                        }
+                    } else {
+                        candidate = runCandidate(bench, machine,
+                                                 config, threads,
+                                                 seed);
+                    }
+                    cell.candidates.push_back(candidate);
+                }
             }
             std::printf("%-14s %-22s %8.1f ms  %10.0f tx/s  "
                         "speedup %.2f\n",
@@ -298,6 +320,20 @@ main(int argc, char** argv)
         }
     }
     const auto suite_finish = Clock::now();
+
+    // Per-access cost microbenchmark, recorded alongside the grid
+    // (see access_micro.hh). Runs after every child has forked, so it
+    // cannot perturb the heap image the grid metrics depend on.
+    htm::RuntimeConfig access_config{htm::MachineConfig::intelCore()};
+    access_config.batchEpoch = batch;
+    const std::vector<bench::AccessResult> access_rows =
+        bench::runAccessSweep(access_config);
+    std::printf("\n%-12s %8s %10s\n", "access", "threads",
+                "ns/access");
+    for (const bench::AccessResult& row : access_rows) {
+        std::printf("%-12s %8u %10.1f\n", row.pattern, row.threads,
+                    row.nsPerAccess());
+    }
 
     // Geomean of per-cell host times: the suite-level trajectory
     // metric (robust to one cell dominating).
@@ -334,6 +370,23 @@ main(int argc, char** argv)
     for (std::size_t i = 0; i < cells.size(); ++i) {
         writeCellJson(out, cells[i]);
         std::fprintf(out, "%s\n", i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"access\": [\n");
+    for (std::size_t i = 0; i < access_rows.size(); ++i) {
+        const bench::AccessResult& row = access_rows[i];
+        std::fprintf(
+            out,
+            "    {\"pattern\": \"%s\", \"threads\": %u, "
+            "\"accesses\": %llu, \"host_ns\": %llu, "
+            "\"ns_per_access\": %.2f, \"tm_cycles\": %llu, "
+            "\"commits\": %llu, \"aborts\": %llu}%s\n",
+            row.pattern, row.threads,
+            (unsigned long long)row.accesses,
+            (unsigned long long)row.hostNs, row.nsPerAccess(),
+            (unsigned long long)row.tmCycles,
+            (unsigned long long)row.commits,
+            (unsigned long long)row.aborts,
+            i + 1 < access_rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

@@ -18,6 +18,9 @@
  *   --prof FILE      profile the run per transaction site and write
  *                    the txprof JSON report to FILE
  *   --perfetto FILE  write a Perfetto / Chrome trace_event file
+ *   --no-batch       disable the epoch-batched sync() fast path
+ *                    (DESIGN.md Section 5); results are bit-identical,
+ *                    only host time differs
  *   --quiet          only print the verification verdict
  *
  * Profiling replays the tuned winner with a TxProfiler attached;
@@ -44,6 +47,7 @@ main(int argc, char** argv)
     std::string prof_path;
     std::string perfetto_path;
     bool quiet = false;
+    bool batch = true;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -60,6 +64,8 @@ main(int argc, char** argv)
             perfetto_path = value();
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--no-batch") {
+            batch = false;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return 1;
@@ -131,6 +137,7 @@ main(int argc, char** argv)
     bool first = true;
     for (RuntimeConfig config : SuiteRunner::tuningCandidates(machine)) {
         config.backend = backend;
+        config.batchEpoch = batch;
         const Speedup current =
             runner.run(bench, config, machine, threads, true, 1);
         if (first || current.ratio > result.ratio) {

@@ -67,6 +67,10 @@ class FlatTable
     /** Live entries in the current epoch. */
     std::size_t size() const { return size_; }
 
+    /** True if no entry is live (one load; lets hot paths skip the
+     *  hash-and-probe of a guaranteed-miss find). */
+    bool empty() const { return size_ == 0; }
+
     /** Current slot-array capacity (diagnostics and tests). */
     std::size_t capacity() const { return mask_ + 1; }
 

@@ -257,21 +257,22 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     }
 
     // Commit point: no scheduling points below, so write-back and
-    // directory cleanup are atomic in virtual time. Both walks follow
-    // the append-only logs: O(touched words/lines), not table size.
+    // directory cleanup are atomic in virtual time. The write-back
+    // follows the append-only log (its order matters for overlapping
+    // stores); directory cleanup is per-line idempotent, so it scans
+    // the line table directly instead of re-probing it per log entry.
     for (const std::uintptr_t addr : tx.writeLog_) {
         const Tx::WriteEntry* entry = tx.writeBuffer_.find(addr);
         std::memcpy(reinterpret_cast<void*>(addr), &entry->value,
                     entry->size);
     }
-    for (const std::uintptr_t line_number : tx.conflictLog_) {
-        const std::uint8_t flags =
-            *tx.conflictLines_.find(line_number);
-        if (flags & Tx::lineRead)
-            clearDirectoryReader(line_number, tx.tid_);
-        if (flags & Tx::lineWritten)
-            clearDirectoryWriter(line_number, tx.tid_);
-    }
+    tx.conflictLines_.forEach(
+        [&](std::uintptr_t line_number, std::uint8_t flags) {
+            if (flags & Tx::lineRead)
+                clearDirectoryReader(line_number, tx.tid_);
+            if (flags & Tx::lineWritten)
+                clearDirectoryWriter(line_number, tx.tid_);
+        });
     for (const auto& record : tx.deferredFrees_)
         NodePool::instance().free(record.ptr, record.bytes);
 
@@ -298,14 +299,13 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 void
 Runtime::rollback(Tx& tx, sim::ThreadContext& ctx)
 {
-    for (const std::uintptr_t line_number : tx.conflictLog_) {
-        const std::uint8_t flags =
-            *tx.conflictLines_.find(line_number);
-        if (flags & Tx::lineRead)
-            clearDirectoryReader(line_number, tx.tid_);
-        if (flags & Tx::lineWritten)
-            clearDirectoryWriter(line_number, tx.tid_);
-    }
+    tx.conflictLines_.forEach(
+        [&](std::uintptr_t line_number, std::uint8_t flags) {
+            if (flags & Tx::lineRead)
+                clearDirectoryReader(line_number, tx.tid_);
+            if (flags & Tx::lineWritten)
+                clearDirectoryWriter(line_number, tx.tid_);
+        });
     for (const auto& record : tx.speculativeAllocs_)
         NodePool::instance().free(record.ptr, record.bytes);
 

@@ -152,6 +152,17 @@ struct RuntimeConfig
     /** Cap for the exponential backoff shift. */
     unsigned maxBackoffShift = 4;
 
+    /**
+     * Epoch-batched scheduling fast path (DESIGN.md Section 5). On by
+     * default; simulated results are bit-identical either way. The
+     * switch exists as an escape hatch and for A/B verification
+     * (`--no-batch` in the tools). Declared last, in the struct's
+     * tail padding: configs are heap-allocated before the simulation
+     * starts, and simulated metrics are sensitive to host allocation
+     * sizes, so sizeof(RuntimeConfig) must not change.
+     */
+    bool batchEpoch = true;
+
     /** Construct a config for one of the paper's machines. */
     explicit RuntimeConfig(MachineConfig machine_config)
         : machine(std::move(machine_config))

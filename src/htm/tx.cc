@@ -91,9 +91,13 @@ Tx::loadWord(const void* addr, std::size_t size)
         selfAbort(AbortCause::cacheFetch);
     }
 
-    if (const WriteEntry* buffered = writeBuffer_.find(uaddr)) {
-        assert(buffered->size == size);
-        return buffered->value;
+    // Read-mostly transactions keep the write buffer empty: one size
+    // check skips the guaranteed-miss hash probe.
+    if (!writeBuffer_.empty()) {
+        if (const WriteEntry* buffered = writeBuffer_.find(uaddr)) {
+            assert(buffered->size == size);
+            return buffered->value;
+        }
     }
 
     // Last-line memo: consecutive loads of a line whose read
@@ -101,20 +105,23 @@ Tx::loadWord(const void* addr, std::size_t size)
     // genome/ssca2/labyrinth) skip the conflict and capacity probes
     // entirely. The skipped calls would early-return anyway, so the
     // model — including the RNG draw order of the prefetcher — is
-    // unchanged.
+    // unchanged. The prefetch-probability test is hoisted out of
+    // maybePrefetch: zero on three of the four machines.
     const std::uintptr_t conflict_line =
         uaddr >> runtime_->conflictShift_;
     const std::uintptr_t capacity_line =
         uaddr >> runtime_->capacityShift_;
     if (conflict_line == memoReadConflictLine_ &&
         capacity_line == memoReadCapacityLine_) {
-        maybePrefetch(uaddr);
+        if (runtime_->prefetchProb_ > 0.0)
+            maybePrefetch(uaddr);
         checkConstraintFootprint();
         return readMemory(addr, size);
     }
 
     touchConflictLine(uaddr, false);
-    maybePrefetch(uaddr);
+    if (runtime_->prefetchProb_ > 0.0)
+        maybePrefetch(uaddr);
     touchCapacityLine(uaddr, false);
     checkConstraintFootprint();
     memoReadConflictLine_ = conflict_line;
@@ -176,14 +183,16 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
         uaddr >> runtime_->capacityShift_;
     if (conflict_line == memoWriteConflictLine_ &&
         capacity_line == memoWriteCapacityLine_) {
-        maybePrefetch(uaddr);
+        if (runtime_->prefetchProb_ > 0.0)
+            maybePrefetch(uaddr);
         checkConstraintFootprint();
         bufferStore(uaddr, size, value);
         return;
     }
 
     touchConflictLine(uaddr, true);
-    maybePrefetch(uaddr);
+    if (runtime_->prefetchProb_ > 0.0)
+        maybePrefetch(uaddr);
     touchCapacityLine(uaddr, true);
     checkConstraintFootprint();
     memoWriteConflictLine_ = conflict_line;
@@ -257,7 +266,9 @@ void
 Tx::maybePrefetch(std::uintptr_t addr)
 {
     // Effective probability: zero unless the machine has the
-    // prefetcher, it is enabled, and the backend is not ideal.
+    // prefetcher, it is enabled, and the backend is not ideal. The
+    // callers hoist the zero test; this one keeps the function safe
+    // to call unconditionally.
     if (runtime_->prefetchProb_ <= 0.0)
         return;
     if (!rng().nextBool(runtime_->prefetchProb_))

@@ -14,22 +14,61 @@
 #define HTMSIM_ASAN_FIBERS 0
 #endif
 
-#if HTMSIM_FAST_FIBERS && HTMSIM_ASAN_FIBERS
+#if HTMSIM_ASAN_FIBERS
 // ASan tracks one stack per thread; a hand-rolled switch must announce
 // departures/landings or the first abort-unwind on a fiber stack
-// corrupts its shadow bookkeeping (the ucontext backend is covered by
-// ASan's swapcontext interceptor).
+// corrupts its shadow bookkeeping. Direct fiber->fiber switches need
+// the same annotations even on the ucontext backend's swapcontext
+// interceptor-covered paths, and yields back to the owner must name
+// the host thread's own stack, learned once via pthread_getattr_np.
 #include <sanitizer/common_interface_defs.h>
+
+#include <pthread.h>
+#endif
+
+namespace htmsim::sim
+{
 
 namespace
 {
-/// The host thread's own stack bounds, learned at the first landing
-/// on a fiber stack; the yield path needs them to announce the
-/// switch back.
+/// The fiber currently executing, or nullptr when the owner runs.
+thread_local Fiber* current_fiber = nullptr;
+
+#if HTMSIM_FAST_FIBERS
+/// The suspended owner continuation: the stack pointer parked by the
+/// most recent resume(). One slot per host thread — whichever fiber
+/// returns to the owner resumes that call, which is what makes direct
+/// fiber->fiber hand-offs possible (a per-fiber owner slot would go
+/// stale as soon as a fiber entered via switchTo yielded back).
+thread_local void* owner_sp = nullptr;
+#else
+/// ucontext flavour of the shared owner continuation (also the
+/// uc_link target for finishing fibers).
+thread_local ucontext_t owner_context;
+#endif
+
+#if HTMSIM_FAST_FIBERS && HTMSIM_ASAN_FIBERS
 thread_local const void* owner_stack_bottom = nullptr;
 thread_local std::size_t owner_stack_size = 0;
-} // namespace
+
+void
+captureOwnerStack()
+{
+    if (owner_stack_bottom != nullptr)
+        return;
+    pthread_attr_t attr;
+    pthread_getattr_np(pthread_self(), &attr);
+    void* base = nullptr;
+    std::size_t size = 0;
+    pthread_attr_getstack(&attr, &base, &size);
+    pthread_attr_destroy(&attr);
+    owner_stack_bottom = base;
+    owner_stack_size = size;
+}
 #endif
+} // namespace
+
+} // namespace htmsim::sim
 
 #if HTMSIM_FAST_FIBERS
 
@@ -92,19 +131,22 @@ __asm__(
     "    ud2\n"
     ".size htmsim_fiber_thunk, .-htmsim_fiber_thunk\n");
 
-extern "C" void
+// `used`: the only caller is the thunk asm, invisible to LTO.
+extern "C" __attribute__((used)) void
 htmsim_fiber_finish(htmsim::sim::Fiber* fiber)
 {
+    (void)fiber;
 #if HTMSIM_ASAN_FIBERS
     // nullptr fake-stack save: the fiber departs for good, ASan may
     // release its fake stack.
-    __sanitizer_start_switch_fiber(nullptr, owner_stack_bottom,
-                                   owner_stack_size);
+    __sanitizer_start_switch_fiber(nullptr,
+                                   htmsim::sim::owner_stack_bottom,
+                                   htmsim::sim::owner_stack_size);
 #endif
-    // Final transfer back to resume(); the fiber is finished and will
+    // Final transfer back to the owner; the fiber is finished and will
     // never be switched to again, so the save slot is scratch.
     void* scratch;
-    htmsim_context_switch(&scratch, fiber->fastOwnerSp());
+    htmsim_context_switch(&scratch, htmsim::sim::owner_sp);
     __builtin_unreachable();
 }
 
@@ -112,12 +154,6 @@ htmsim_fiber_finish(htmsim::sim::Fiber* fiber)
 
 namespace htmsim::sim
 {
-
-namespace
-{
-/// The fiber currently executing, or nullptr when the owner runs.
-thread_local Fiber* current_fiber = nullptr;
-} // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)), stack_(stack_bytes)
@@ -128,7 +164,7 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     getcontext(&context_);
     context_.uc_stack.ss_sp = stack_.data();
     context_.uc_stack.ss_size = stack_.size();
-    context_.uc_link = &ownerContext_;
+    context_.uc_link = &owner_context;
     auto self = reinterpret_cast<std::uintptr_t>(this);
     makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
                 unsigned(self >> 32), unsigned(self & 0xffffffffu));
@@ -188,11 +224,9 @@ void
 Fiber::run()
 {
 #if HTMSIM_FAST_FIBERS && HTMSIM_ASAN_FIBERS
-    // First landing on this fiber's stack; the outparams report the
-    // stack we came from — the host thread's, which every fiber of
-    // this thread yields back to.
-    __sanitizer_finish_switch_fiber(nullptr, &owner_stack_bottom,
-                                    &owner_stack_size);
+    // First landing on this fiber's stack; the departed stack needs no
+    // bookkeeping update (owner bounds are learned in resume()).
+    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
 #endif
     try {
         body_();
@@ -214,24 +248,24 @@ Fiber::resume()
     current_fiber = this;
 #if HTMSIM_FAST_FIBERS
 #if HTMSIM_ASAN_FIBERS
+    captureOwnerStack();
     void* owner_fake_stack = nullptr;
     __sanitizer_start_switch_fiber(&owner_fake_stack, stack_.data(),
                                    stack_.size());
 #endif
-    htmsim_context_switch(&fastOwnerSp(), fastSp());
+    htmsim_context_switch(&owner_sp, fastSp());
 #if HTMSIM_ASAN_FIBERS
     __sanitizer_finish_switch_fiber(owner_fake_stack, nullptr,
                                     nullptr);
 #endif
 #else
-    swapcontext(&ownerContext_, &context_);
+    swapcontext(&owner_context, &context_);
 #endif
     current_fiber = nullptr;
-    if (pendingException_) {
-        auto exception = pendingException_;
-        pendingException_ = nullptr;
-        std::rethrow_exception(exception);
-    }
+    // If this very fiber finished with an exception, surface it here
+    // (standalone Fiber users). When another fiber returned to the
+    // owner, the scheduler checks that one via rethrowPending().
+    rethrowPending();
 }
 
 void
@@ -247,13 +281,41 @@ Fiber::yieldToOwner()
                                    owner_stack_bottom,
                                    owner_stack_size);
 #endif
-    htmsim_context_switch(&self->fastSp(), self->fastOwnerSp());
+    htmsim_context_switch(&self->fastSp(), owner_sp);
 #if HTMSIM_ASAN_FIBERS
     __sanitizer_finish_switch_fiber(fiber_fake_stack, nullptr,
                                     nullptr);
 #endif
 #else
-    swapcontext(&self->context_, &self->ownerContext_);
+    swapcontext(&self->context_, &owner_context);
+#endif
+    current_fiber = self;
+}
+
+void
+Fiber::switchTo(Fiber& next)
+{
+    Fiber* self = current_fiber;
+    assert(self && "switchTo() outside any fiber");
+    assert(self != &next && "switchTo() the current fiber");
+    assert(!next.finished_ && "switchTo() a finished fiber");
+    next.started_ = true;
+    current_fiber = &next;
+#if HTMSIM_FAST_FIBERS
+#if HTMSIM_ASAN_FIBERS
+    void* fiber_fake_stack = nullptr;
+    __sanitizer_start_switch_fiber(&fiber_fake_stack,
+                                   next.stack_.data(),
+                                   next.stack_.size());
+#endif
+    htmsim_context_switch(&self->fastSp(), next.fastSp());
+#if HTMSIM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fiber_fake_stack, nullptr,
+                                    nullptr);
+#endif
+#else
+    // ASan's swapcontext interceptor covers this backend.
+    swapcontext(&self->context_, &next.context_);
 #endif
     current_fiber = self;
 }

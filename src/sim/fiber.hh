@@ -12,6 +12,13 @@
  * syscall per switch — which dominated host time at the simulator's
  * millions of scheduling points. Other platforms (or builds defining
  * HTMSIM_UCONTEXT_FIBERS) keep the portable ucontext backend.
+ *
+ * Control transfers come in two flavours: owner <-> fiber (resume /
+ * yieldToOwner) and the direct fiber -> fiber hand-off (switchTo) the
+ * scheduler uses at its scheduling points, which costs one stack swap
+ * instead of two. The suspended owner's continuation is a single
+ * per-host-thread slot — whichever fiber returns to the owner resumes
+ * the most recent resume() call.
  */
 
 #ifndef HTMSIM_SIM_FIBER_HH
@@ -48,9 +55,11 @@ namespace htmsim::sim
  * A single cooperative fiber.
  *
  * The owner (the scheduler) resumes the fiber with resume(); the fiber
- * returns control with yieldToOwner(). When the body function returns or
- * throws, the fiber becomes finished and resume() returns immediately.
- * An exception escaping the body is captured and rethrown from resume().
+ * returns control with yieldToOwner() or hands off to a sibling with
+ * switchTo(). When the body function returns or throws, the fiber
+ * becomes finished and control returns to the owner. An exception that
+ * escaped the body is captured; the owner rethrows it explicitly via
+ * rethrowPending().
  */
 class Fiber
 {
@@ -64,20 +73,40 @@ class Fiber
     ~Fiber();
 
     /**
-     * Transfer control into the fiber until it yields or finishes.
-     * Must not be called from inside any fiber of this library.
-     * Rethrows any exception that escaped the fiber body.
+     * Transfer control into the fiber until it (or a sibling it
+     * switched to) yields back or finishes. Must not be called from
+     * inside any fiber of this library. Rethrows an exception that
+     * escaped this fiber's body; an exception from a sibling that
+     * returned to the owner instead is surfaced via rethrowPending().
      */
     void resume();
 
     /** True once the body function has returned or thrown. */
     bool finished() const { return finished_; }
 
+    /** Rethrow the exception that escaped the body, if any. */
+    void
+    rethrowPending()
+    {
+        if (pendingException_) {
+            auto exception = pendingException_;
+            pendingException_ = nullptr;
+            std::rethrow_exception(exception);
+        }
+    }
+
     /**
-     * Return control to the resume() call that entered the current
-     * fiber. Must be called from inside a fiber.
+     * Return control to the resume() call that last entered a fiber
+     * of this host thread. Must be called from inside a fiber.
      */
     static void yieldToOwner();
+
+    /**
+     * Park the current fiber and run @p next directly, without
+     * passing through the owner. Must be called from inside a fiber;
+     * @p next must be a different, unfinished fiber.
+     */
+    static void switchTo(Fiber& next);
 
     /** Default stack size; STAMP's yada recursion fits comfortably. */
     static constexpr std::size_t defaultStackBytes = 1024 * 1024;
@@ -89,22 +118,26 @@ class Fiber
     /// Build the initial stack frame the first switch-in will pop.
     void initFastStack();
 
-    /// Saved stack pointers live inside the (otherwise unused)
-    /// ucontext_t members: simulated placement is sensitive to host
+    /// The saved stack pointer lives inside the (otherwise unused)
+    /// ucontext_t member: simulated placement is sensitive to host
     /// heap layout, so sizeof(Fiber) must not depend on the backend.
     void*& fastSp() { return *reinterpret_cast<void**>(&context_); }
-    void*& fastOwnerSp()
-    {
-        return *reinterpret_cast<void**>(&ownerContext_);
-    }
 #endif
 
     static void trampoline(unsigned hi, unsigned lo);
+#if HTMSIM_FAST_FIBERS
+    // Referenced only from the context-switch asm, which LTO cannot
+    // see: `used` keeps the definition out of dead-code elimination.
+    __attribute__((used))
+#endif
     void run();
 
     std::function<void()> body_;
     std::vector<char> stack_;
     ucontext_t context_;
+    /// Unused since the owner continuation became a shared
+    /// per-host-thread slot; retained so sizeof(Fiber) — and with it
+    /// the host heap layout the simulated models hash — is unchanged.
     ucontext_t ownerContext_;
     std::exception_ptr pendingException_;
     bool finished_ = false;

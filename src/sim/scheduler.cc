@@ -6,36 +6,119 @@
 namespace htmsim::sim
 {
 
-void
-ThreadContext::sync()
+namespace
 {
-    // Preemption point: a registered perturber may push this thread's
-    // clock forward here, letting another thread's events overtake.
-    // sync() may then enter yieldNow(), which draws again; the two
-    // draws are distinct preemption points and their delays add.
-    if (scheduler_->perturber_ != nullptr)
-        now_ += scheduler_->perturber_->preemptDelay(id_, now_);
-    if (scheduler_->runnableBefore(now_))
-        yieldNow();
+/// leaseEnd is exclusive: a point at now == min_other must not yield
+/// (the peer is not *strictly* behind), so the lease extends to
+/// min_other + 1, saturating at the top of the cycle range.
+Cycles
+leaseBound(Cycles bound)
+{
+    return bound == ~Cycles(0) ? bound : bound + 1;
+}
+} // namespace
+
+void
+ThreadContext::syncSlow()
+{
+    Scheduler& s = *scheduler_;
+    if (s.perturber_ != nullptr) {
+        // Preemption point: a registered perturber may push this
+        // thread's clock forward, letting another thread's events
+        // overtake. Exactly one draw per scheduling point — the yield
+        // below does not draw again (schedule format v2).
+        now_ += s.perturber_->preemptDelay(id_, now_);
+        if (s.minRunnableTime(id_) < now_)
+            s.yieldFrom(id_);
+        return;
+    }
+    // One scan resolves the whole scheduling point: the earliest other
+    // runnable thread is the yield target (this thread's own slot is
+    // parked at `never` while it runs) and the runner-up time is the
+    // target's dispatch lease.
+    const Scheduler::SlotRec* slots = s.slots_.data();
+    const unsigned count = unsigned(s.slots_.size());
+    unsigned best = Scheduler::kNone;
+    Cycles best_time = Scheduler::never;
+    std::uint64_t best_order = 0;
+    Cycles second = Scheduler::never;
+    for (unsigned tid = 0; tid < count; ++tid) {
+        const Scheduler::SlotRec& slot = slots[tid];
+        if (slot.time == Scheduler::never)
+            continue;
+        if (best == Scheduler::kNone || slot.time < best_time ||
+            (slot.time == best_time && slot.order < best_order)) {
+            if (best != Scheduler::kNone)
+                second = std::min(second, best_time);
+            best = tid;
+            best_time = slot.time;
+            best_order = slot.order;
+        } else {
+            second = std::min(second, slot.time);
+        }
+    }
+    // Both exits renew a lease inline; with no perturber registered,
+    // only the batching flag gates it (renewLease without the
+    // perturber branch).
+    if (best_time >= now_) {
+        // No-op scheduling point past the lease (nobody is strictly
+        // behind — `never` when nobody is runnable at all): renew it.
+        // Other threads cannot have moved since dispatch, but the
+        // lease is also bounded by the epoch budget, which may simply
+        // have expired.
+        s.slots_[id_].leaseEnd =
+            s.batching_
+                ? leaseBound(std::min(best_time, now_ + s.epochCycles_))
+                : 0;
+        return;
+    }
+    // Yield: the re-enqueued self is stamped later than every waiting
+    // thread, so it loses all ties — `best` is exactly the thread the
+    // run-queue scan would pick, and the runner-up lease is the
+    // remaining minimum including self. Dispatch is fused in, and the
+    // Thread records stay untouched: the state field only needs to
+    // distinguish blocked (wake()) and finished (run()/deadlock), both
+    // maintained on their own paths, and the target's clock equals its
+    // parked slot time, so the lease cap needs no pointer chase.
+    Scheduler::SlotRec& self = s.slots_[id_];
+    self.time = now_;
+    self.order = s.orderCounter_++;
+    Scheduler::SlotRec& tslot = s.slots_[best];
+    tslot.time = Scheduler::never; // leave the run queue while running
+    s.runningTid_ = best;
+    tslot.leaseEnd =
+        s.batching_
+            ? leaseBound(std::min(std::min(second, now_),
+                                  best_time + s.epochCycles_))
+            : 0;
+    Fiber::switchTo(*s.threads_[best]->fiber);
 }
 
 void
 ThreadContext::yieldNow()
 {
-    if (scheduler_->perturber_ != nullptr)
-        now_ += scheduler_->perturber_->preemptDelay(id_, now_);
-    auto& thread = *scheduler_->threads_[id_];
-    thread.state = Scheduler::State::runnable;
-    scheduler_->enqueue(id_);
-    Fiber::yieldToOwner();
+    Scheduler& s = *scheduler_;
+    if (s.perturber_ != nullptr)
+        now_ += s.perturber_->preemptDelay(id_, now_);
+    s.yieldFrom(id_);
 }
 
 void
 ThreadContext::block()
 {
-    auto& thread = *scheduler_->threads_[id_];
+    Scheduler& s = *scheduler_;
+    auto& thread = *s.threads_[id_];
     thread.state = Scheduler::State::blocked;
-    Fiber::yieldToOwner();
+    Cycles min_other;
+    const unsigned next = s.pickNext(&min_other);
+    if (next == Scheduler::kNone) {
+        // Nothing runnable: return to the owner loop, which declares
+        // deadlock (or finishes the run if everyone is done).
+        Fiber::yieldToOwner();
+        return;
+    }
+    s.dispatch(next, min_other);
+    Fiber::switchTo(*s.threads_[next]->fiber);
 }
 
 Scheduler::Scheduler(std::uint64_t seed) : seed_(seed) {}
@@ -55,7 +138,7 @@ Scheduler::spawn(std::function<void(ThreadContext&)> body)
     auto wrapped = [body = std::move(body), context] { body(*context); };
     thread->fiber = std::make_unique<Fiber>(std::move(wrapped));
     threads_.push_back(std::move(thread));
-    enqueue(tid);
+    slots_.push_back(SlotRec{0, orderCounter_++, 0});
     return tid;
 }
 
@@ -63,20 +146,22 @@ void
 Scheduler::run()
 {
     running_ = true;
-    while (!runQueue_.empty()) {
-        const QueueEntry entry = runQueue_.top();
-        runQueue_.pop();
-        Thread& thread = *threads_[entry.tid];
-        assert(thread.state == State::runnable);
-        thread.state = State::running;
-        runningTid_ = entry.tid;
-        thread.fiber->resume();
-        if (thread.fiber->finished()) {
-            thread.state = State::finished;
-            thread.finishTime = thread.context.now();
+    for (;;) {
+        Cycles min_other;
+        const unsigned next = pickNext(&min_other);
+        if (next == kNone)
+            break;
+        dispatch(next, min_other);
+        threads_[next]->fiber->resume();
+        // Control is back at the owner: the fiber that ran last (not
+        // necessarily `next` — threads switch among themselves)
+        // finished, or blocked with nothing left runnable.
+        Thread& last = *threads_[runningTid_];
+        if (last.fiber->finished()) {
+            last.fiber->rethrowPending();
+            last.state = State::finished;
+            last.finishTime = last.context.now();
         }
-        // Otherwise the fiber yielded: block() left it blocked, or
-        // yieldNow() already re-enqueued it as runnable.
     }
     running_ = false;
     for (const auto& thread : threads_) {
@@ -96,7 +181,14 @@ Scheduler::wake(unsigned tid, Cycles at_least)
         return;
     thread.context.now_ = std::max(thread.context.now_, at_least);
     thread.state = State::runnable;
-    enqueue(tid);
+    SlotRec& slot = slots_[tid];
+    slot.time = thread.context.now_;
+    slot.order = orderCounter_++;
+    // The waker's lease no longer covers the woken thread's clock.
+    if (running_) {
+        SlotRec& self = slots_[runningTid_];
+        self.leaseEnd = std::min(self.leaseEnd, leaseBound(slot.time));
+    }
 }
 
 Cycles
@@ -135,17 +227,80 @@ Scheduler::othersPending(unsigned tid) const
     return false;
 }
 
-void
-Scheduler::enqueue(unsigned tid)
+unsigned
+Scheduler::pickNext(Cycles* min_other) const
 {
-    runQueue_.push(QueueEntry{threads_[tid]->context.now(),
-                              orderCounter_++, tid});
+    unsigned best = kNone;
+    Cycles best_time = 0;
+    std::uint64_t best_order = 0;
+    Cycles second = never;
+    for (unsigned tid = 0; tid < unsigned(slots_.size()); ++tid) {
+        const SlotRec& slot = slots_[tid];
+        if (slot.time == never)
+            continue;
+        if (best == kNone || slot.time < best_time ||
+            (slot.time == best_time && slot.order < best_order)) {
+            if (best != kNone)
+                second = std::min(second, best_time);
+            best = tid;
+            best_time = slot.time;
+            best_order = slot.order;
+        } else {
+            second = std::min(second, slot.time);
+        }
+    }
+    *min_other = second;
+    return best;
 }
 
-bool
-Scheduler::runnableBefore(Cycles time) const
+void
+Scheduler::dispatch(unsigned tid, Cycles min_other)
 {
-    return !runQueue_.empty() && runQueue_.top().time < time;
+    Thread& thread = *threads_[tid];
+    thread.state = State::running;
+    slots_[tid].time = never; // leave the run queue while running
+    runningTid_ = tid;
+    renewLease(tid, min_other);
+}
+
+void
+Scheduler::renewLease(unsigned tid, Cycles min_other)
+{
+    SlotRec& slot = slots_[tid];
+    if (!batching_ || perturber_ != nullptr) {
+        slot.leaseEnd = 0;
+        return;
+    }
+    const Cycles cap = threads_[tid]->context.now_ + epochCycles_;
+    slot.leaseEnd = leaseBound(std::min(min_other, cap));
+}
+
+void
+Scheduler::yieldFrom(unsigned tid)
+{
+    Thread& self = *threads_[tid];
+    SlotRec& slot = slots_[tid];
+    slot.time = self.context.now_;
+    slot.order = orderCounter_++;
+    self.state = State::runnable;
+    Cycles min_other;
+    const unsigned next = pickNext(&min_other);
+    assert(next != kNone && "yieldFrom with an empty run queue");
+    dispatch(next, min_other);
+    if (next == tid)
+        return; // Still the earliest: the switch would be a no-op.
+    Fiber::switchTo(*threads_[next]->fiber);
+}
+
+Cycles
+Scheduler::minRunnableTime(unsigned excluding) const
+{
+    Cycles min = never;
+    for (unsigned tid = 0; tid < unsigned(slots_.size()); ++tid) {
+        if (tid != excluding)
+            min = std::min(min, slots_[tid].time);
+    }
+    return min;
 }
 
 } // namespace htmsim::sim

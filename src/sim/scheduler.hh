@@ -8,6 +8,15 @@
  * virtual-time order. This is what makes speed-up measurements on a
  * single host core meaningful: the makespan (maximum finish time) of a
  * run is the simulated parallel execution time.
+ *
+ * Epoch batching (DESIGN.md Section 5): while one thread runs, every
+ * other thread is frozen, so the smallest other runnable clock cannot
+ * change between two of the running thread's scheduling points. The
+ * scheduler therefore hands the dispatched thread a *lease* — the
+ * virtual time up to which sync() is provably a no-op — and sync()
+ * reduces to a single compare until the lease expires. A batched run
+ * is bit-identical to an unbatched one by construction: only scheduling
+ * points that could not have switched threads are elided.
  */
 
 #ifndef HTMSIM_SIM_SCHEDULER_HH
@@ -16,7 +25,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -50,6 +58,15 @@ class Scheduler;
  * mechanism simcheck's FuzzScheduler (src/check) uses to explore
  * distinct interleavings per seed; with no perturber registered the
  * scheduler's behaviour is bit-identical to before the hook existed.
+ *
+ * Draw discipline (schedule format v2): the perturber is consulted
+ * exactly once per scheduling point — sync() no longer draws a second
+ * time when it enters the yield path, so per-thread point indices are
+ * stable regardless of whether a point actually switched threads.
+ * Schedules recorded under the old double-draw discipline do not
+ * replay; re-record them. While a perturber is registered the sync()
+ * fast path is disabled entirely, so epoch batching never elides a
+ * point index.
  */
 class SchedulePerturber
 {
@@ -88,6 +105,13 @@ class ThreadContext
     void
     advance(Cycles cycles)
     {
+        // The scaled rounding below yields exactly `cycles` for a unit
+        // scale (any realistic cycle count is below 2^52), so the
+        // integer fast path is bit-identical, just cheaper.
+        if (timeScale_ == 1.0) {
+            now_ += cycles;
+            return;
+        }
         now_ += Cycles(double(cycles) * timeScale_ + 0.5);
     }
 
@@ -99,6 +123,10 @@ class ThreadContext
      * Scheduling point: if another runnable thread is behind this
      * thread in virtual time, switch to it. Call this before every
      * globally visible event so events happen in virtual-time order.
+     *
+     * Defined inline below the Scheduler: while the thread's clock is
+     * inside its dispatch lease the point is provably a no-op and
+     * costs one compare.
      */
     void sync();
 
@@ -140,6 +168,10 @@ class ThreadContext
 
   private:
     friend class Scheduler;
+
+    /** Out-of-line sync() tail: lease expired, perturbed, or a switch
+     *  is actually due. */
+    void syncSlow();
 
     Scheduler* scheduler_ = nullptr;
     unsigned id_ = 0;
@@ -191,11 +223,32 @@ class Scheduler
     /**
      * Register a scheduling perturber (nullptr to remove). Non-owning;
      * the perturber must outlive run(). One perturber per scheduler.
+     * Registering one disables the sync() fast path so every
+     * scheduling point consults the hook (see SchedulePerturber).
      */
     void setPerturber(SchedulePerturber* perturber)
     {
         perturber_ = perturber;
     }
+
+    /**
+     * Enable/disable epoch batching (the sync() fast path). On by
+     * default; results are bit-identical either way — the switch
+     * exists as an escape hatch and for A/B verification
+     * (`--no-batch` in the tools). @p max_epoch_cycles bounds how far
+     * a lease may extend past the dispatched thread's clock.
+     */
+    void
+    setBatching(bool enabled, Cycles max_epoch_cycles = defaultEpochCycles)
+    {
+        batching_ = enabled;
+        epochCycles_ = max_epoch_cycles;
+    }
+
+    bool batchingEnabled() const { return batching_; }
+
+    /** Default per-dispatch lease bound (virtual cycles). */
+    static constexpr Cycles defaultEpochCycles = Cycles(1) << 20;
 
     /**
      * True if any thread other than @p tid could still run or wake up.
@@ -205,6 +258,8 @@ class Scheduler
 
   private:
     friend class ThreadContext;
+
+    static constexpr unsigned kNone = ~0u;
 
     enum class State { runnable, running, blocked, finished };
 
@@ -216,34 +271,69 @@ class Scheduler
         Cycles finishTime = 0;
     };
 
-    struct QueueEntry
+    /** Sentinel parking a slot outside the run queue (also "no other
+     *  runnable thread" in lease math). Real clocks never reach it. */
+    static constexpr Cycles never = ~Cycles(0);
+
+    /**
+     * Per-thread scheduling record, indexed by tid. (time, order) is
+     * the run-queue key while the thread is runnable — order is a
+     * global enqueue stamp, so ties resolve in enqueue (FIFO) order
+     * exactly as the former binary-heap queue did. A slot whose time
+     * is `never` is not runnable (running, blocked, or finished), so
+     * the scheduling scans walk only this contiguous array and never
+     * chase the Thread pointers. leaseEnd is the sync() fast-path
+     * bound of the running thread: scheduling points with
+     * now < leaseEnd are provably no-ops.
+     */
+    struct SlotRec
     {
         Cycles time;
         std::uint64_t order;
-        unsigned tid;
-
-        bool
-        operator>(const QueueEntry& other) const
-        {
-            if (time != other.time)
-                return time > other.time;
-            return order > other.order;
-        }
+        Cycles leaseEnd;
     };
 
-    void enqueue(unsigned tid);
-    /// True when a runnable thread is strictly behind @p time.
-    bool runnableBefore(Cycles time) const;
+    /**
+     * Earliest runnable thread by (time, order), or kNone.
+     * @p min_other receives the smallest slot time among the other
+     * runnable threads (the picked thread's lease bound).
+     */
+    unsigned pickNext(Cycles* min_other) const;
+
+    /** Mark @p tid running and compute its dispatch lease. */
+    void dispatch(unsigned tid, Cycles min_other);
+
+    /** Renew the running thread's lease at a no-op scheduling point. */
+    void renewLease(unsigned tid, Cycles min_other);
+
+    /** Re-enqueue the running thread and switch to the earliest
+     *  runnable thread (possibly itself — then no switch happens). */
+    void yieldFrom(unsigned tid);
+
+    /** Smallest slot time over runnable threads other than @p tid. */
+    Cycles minRunnableTime(unsigned excluding) const;
 
     std::uint64_t seed_;
     SchedulePerturber* perturber_ = nullptr;
     std::uint64_t orderCounter_ = 0;
+    bool batching_ = true;
+    Cycles epochCycles_ = defaultEpochCycles;
     std::vector<std::unique_ptr<Thread>> threads_;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>> runQueue_;
+    std::vector<SlotRec> slots_;
     unsigned runningTid_ = 0;
     bool running_ = false;
 };
+
+inline void
+ThreadContext::sync()
+{
+    // Inside the dispatch lease no other runnable thread can be
+    // strictly behind this clock, so the point cannot switch threads
+    // (and no perturber is registered — leases are 0 then).
+    if (now_ < scheduler_->slots_[id_].leaseEnd) [[likely]]
+        return;
+    syncSlow();
+}
 
 } // namespace htmsim::sim
 

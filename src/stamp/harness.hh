@@ -49,6 +49,7 @@ runTransactional(App& app, const htm::RuntimeConfig& config,
 {
     app.setup();
     sim::Scheduler scheduler(seed);
+    scheduler.setBatching(config.batchEpoch);
     htm::Runtime runtime(config, threads);
     sim::Barrier barrier(threads);
     sim::Cycles start = 0;
@@ -86,6 +87,7 @@ runHle(App& app, const htm::RuntimeConfig& config, unsigned threads,
 {
     app.setup();
     sim::Scheduler scheduler(seed);
+    scheduler.setBatching(config.batchEpoch);
     htm::Runtime runtime(config, threads);
     htm::HleLock lock;
     sim::Barrier barrier(threads);
@@ -118,10 +120,11 @@ runHle(App& app, const htm::RuntimeConfig& config, unsigned threads,
 template <typename App>
 RunResult
 runSequential(App& app, const htm::MachineConfig& machine,
-              std::uint64_t seed)
+              std::uint64_t seed, bool batch_epoch = true)
 {
     app.setup();
     sim::Scheduler scheduler(seed);
+    scheduler.setBatching(batch_epoch);
     sim::Cycles start = 0;
     sim::Cycles finish = 0;
     scheduler.spawn([&](sim::ThreadContext& ctx) {
@@ -158,7 +161,8 @@ measureSpeedup(AppFactory&& make_app, const htm::RuntimeConfig& config,
     Speedup result;
     {
         auto app = make_app();
-        result.seq = runSequential(app, config.machine, seed);
+        result.seq =
+            runSequential(app, config.machine, seed, config.batchEpoch);
     }
     {
         auto app = make_app();

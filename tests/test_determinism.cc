@@ -48,11 +48,13 @@ constexpr unsigned kThreads = 4;
 constexpr std::uint64_t kSeed = 1;
 
 /// Run the full tuning grid for one cell in a forked child and collect
-/// the per-candidate metrics in the parent.
+/// the per-candidate metrics in the parent. @p batch selects the
+/// epoch-batched sync() fast path or the `--no-batch` slow path; the
+/// two must be bit-identical (DESIGN.md Section 5).
 bool
 runGridForked(const std::string& bench,
               const htm::MachineConfig& machine,
-              std::vector<CandidateMetrics>& grid)
+              std::vector<CandidateMetrics>& grid, bool batch = true)
 {
     int fds[2];
     if (::pipe(fds) != 0)
@@ -70,8 +72,10 @@ runGridForked(const std::string& bench,
             bench::SuiteRunner::tuningCandidates(machine);
         for (std::size_t i = 0; i < grid.size(); ++i) {
             CandidateMetrics& metrics = grid[i];
+            htm::RuntimeConfig config = configs[i];
+            config.batchEpoch = batch;
             const stamp::Speedup speedup = runner.run(
-                bench, configs[i], machine, kThreads, true, kSeed);
+                bench, config, machine, kThreads, true, kSeed);
             metrics.seqCycles = speedup.seq.cycles;
             metrics.tmCycles = speedup.tm.cycles;
             metrics.commits = speedup.tm.stats.totalCommits();
@@ -140,6 +144,47 @@ TEST(Determinism, FullTuningGridIsBitIdenticalAcrossRuns)
     std::uint64_t total_commits = 0;
     std::uint64_t total_aborts = 0;
     for (const CandidateMetrics& metrics : first) {
+        total_commits += metrics.commits;
+        total_aborts += metrics.aborts;
+    }
+    EXPECT_GT(total_commits, 0u);
+    EXPECT_GT(total_aborts, 0u);
+}
+
+// Epoch batching (DESIGN.md Section 5) elides only scheduling points
+// that provably cannot switch threads, so a batched run and a
+// `--no-batch` run must be bit-identical — not statistically close,
+// byte-for-byte equal. Same fork discipline as above: both children
+// start from the same parent image, one runs the full tuning grid with
+// the sync() fast path, the other with every scheduling point taking
+// the slow path.
+TEST(Determinism, BatchedAndUnbatchedRunsAreBitIdentical)
+{
+    const htm::MachineConfig machine = htm::MachineConfig::all()[0];
+    ASSERT_EQ(machine.name, "Blue Gene/Q");
+    const std::string bench = "genome";
+    const std::size_t candidates =
+        bench::SuiteRunner::tuningCandidates(machine).size();
+    ASSERT_GT(candidates, 0u);
+
+    std::vector<CandidateMetrics> batched(candidates);
+    std::vector<CandidateMetrics> unbatched(candidates);
+
+    ASSERT_TRUE(runGridForked(bench, machine, batched, true));
+    ASSERT_TRUE(runGridForked(bench, machine, unbatched, false));
+
+    for (std::size_t i = 0; i < candidates; ++i) {
+        SCOPED_TRACE("candidate " + std::to_string(i));
+        EXPECT_EQ(batched[i].seqCycles, unbatched[i].seqCycles);
+        EXPECT_EQ(batched[i].tmCycles, unbatched[i].tmCycles);
+        EXPECT_EQ(batched[i].commits, unbatched[i].commits);
+        EXPECT_EQ(batched[i].aborts, unbatched[i].aborts);
+        EXPECT_EQ(batched[i].causes, unbatched[i].causes);
+    }
+
+    std::uint64_t total_commits = 0;
+    std::uint64_t total_aborts = 0;
+    for (const CandidateMetrics& metrics : batched) {
         total_commits += metrics.commits;
         total_aborts += metrics.aborts;
     }

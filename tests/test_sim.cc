@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <utility>
 #include <vector>
 
 #include "sim/sim.hh"
@@ -152,6 +154,104 @@ TEST(Scheduler, DeterministicAcrossRuns)
         return trace;
     };
     EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Scheduler, BatchingPreservesEventOrder)
+{
+    // Epoch batching elides only provably no-op scheduling points, so
+    // the globally visible event order must be identical with the
+    // sync() fast path on and off.
+    auto run_once = [](bool batch) {
+        std::vector<std::uint64_t> trace;
+        Scheduler scheduler(42);
+        scheduler.setBatching(batch);
+        for (unsigned t = 0; t < 4; ++t) {
+            scheduler.spawn([&](ThreadContext& ctx) {
+                for (int i = 0; i < 50; ++i) {
+                    ctx.step(1 + ctx.rng().nextRange(100));
+                    trace.push_back(ctx.id() * 1000000 + ctx.now());
+                }
+            });
+        }
+        scheduler.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(true), run_once(false));
+}
+
+namespace
+{
+/// Records every scheduling point it is consulted at (schedule format
+/// v2: exactly one draw per point), optionally perturbing the clock.
+class RecordingPerturber : public SchedulePerturber
+{
+  public:
+    explicit RecordingPerturber(bool perturb) : perturb_(perturb) {}
+
+    Cycles
+    preemptDelay(unsigned tid, Cycles now) override
+    {
+        points.push_back({tid, now});
+        return perturb_ ? (points.size() * 7) % 3 : 0;
+    }
+
+    std::vector<std::pair<unsigned, Cycles>> points;
+
+  private:
+    bool perturb_;
+};
+} // namespace
+
+TEST(Scheduler, PerturberDrawsExactlyOncePerSchedulingPoint)
+{
+    // Two threads, each issuing a known number of scheduling points:
+    // 40 step()s (one sync each) plus one explicit yieldNow(). The
+    // per-thread draw count must equal the point count exactly — the
+    // historical hazard was sync() drawing a second time when the
+    // point actually yielded.
+    RecordingPerturber perturber(true);
+    Scheduler scheduler(7);
+    for (unsigned t = 0; t < 2; ++t) {
+        scheduler.spawn([&](ThreadContext& ctx) {
+            for (int i = 0; i < 40; ++i)
+                ctx.step(1 + ctx.rng().nextRange(8));
+            ctx.yieldNow();
+        });
+    }
+    scheduler.setPerturber(&perturber);
+    scheduler.run();
+    scheduler.setPerturber(nullptr);
+
+    std::array<unsigned, 2> draws{};
+    for (const auto& [tid, now] : perturber.points)
+        draws[tid]++;
+    EXPECT_EQ(draws[0], 41u);
+    EXPECT_EQ(draws[1], 41u);
+}
+
+TEST(Scheduler, PerturberPointIndicesMatchBatchedAndUnbatched)
+{
+    // A registered perturber disables the lease fast path, so batching
+    // must not elide (or reorder) any consulted point: the full
+    // (tid, clock) sequence — and with it every per-thread point
+    // index — must be identical across the two modes. FuzzScheduler
+    // seeds and recorded schedules rely on this.
+    auto run_once = [](bool batch) {
+        RecordingPerturber perturber(true);
+        Scheduler scheduler(7);
+        scheduler.setBatching(batch);
+        for (unsigned t = 0; t < 3; ++t) {
+            scheduler.spawn([&](ThreadContext& ctx) {
+                for (int i = 0; i < 30; ++i)
+                    ctx.step(1 + ctx.rng().nextRange(16));
+            });
+        }
+        scheduler.setPerturber(&perturber);
+        scheduler.run();
+        scheduler.setPerturber(nullptr);
+        return perturber.points;
+    };
+    EXPECT_EQ(run_once(true), run_once(false));
 }
 
 TEST(Rng, DeterministicStreams)
