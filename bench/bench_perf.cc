@@ -58,7 +58,7 @@ struct CandidateResult
     std::uint64_t tmCycles = 0;
     std::uint64_t commits = 0;
     std::uint64_t aborts = 0;
-    std::array<std::uint64_t, 8> causes{};
+    std::array<std::uint64_t, htm::numAbortCauses> causes{};
     double ratio = 0.0;
 };
 

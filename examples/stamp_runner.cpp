@@ -4,15 +4,22 @@
  * the four machines with a chosen thread count, and print speed-up
  * and abort statistics.
  *
- *   stamp_runner [benchmark] [machine] [threads] [backend] [options]
+ *   stamp_runner [benchmark] [machine] [threads] [backend] [policy]
+ *                [options]
  *   stamp_runner vacation-high z12 8
  *   stamp_runner genome ic 4 lock
+ *   stamp_runner intruder p8 8 htm hardened
  *   stamp_runner yada z12 8 htm --prof yada.json --perfetto trace.json
  *
  * Machines: bg | z12 | ic | p8. Backends: htm (best-effort HTM with
  * lock fallback, the default) | lock (every section under the global
- * lock) | ideal (no capacity limits, free begin/end).
- * Defaults: genome ic 4 htm.
+ * lock) | ideal (no capacity limits, free begin/end). Policies:
+ * default (the machine's paper policy) | hardened (watchdog-bounded
+ * retries with deterministic backoff, retry_policy.hh).
+ * Defaults: genome ic 4 htm default.
+ *
+ * Any unknown benchmark/machine/backend/policy name exits nonzero with
+ * a usage line listing the valid values.
  *
  * Options:
  *   --prof FILE      profile the run per transaction site and write
@@ -39,10 +46,34 @@
 using namespace htmsim;
 using namespace htmsim::bench;
 
+namespace
+{
+
+/** One-line value summary printed under every argument error. */
+void
+usage()
+{
+    std::string benches;
+    for (const std::string& name : suiteNames())
+        benches += (benches.empty() ? "" : "|") + name;
+    std::fprintf(stderr,
+                 "usage: stamp_runner [benchmark] [machine] [threads] "
+                 "[backend] [policy] [options]\n"
+                 "  benchmark: %s\n"
+                 "  machine:   bg|z12|ic|p8\n"
+                 "  backend:   htm|lock|ideal\n"
+                 "  policy:    default|hardened\n"
+                 "  options:   --prof FILE --perfetto FILE --no-batch "
+                 "--quiet\n",
+                 benches.c_str());
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
-    std::string positional[4] = {"genome", "ic", "4", "htm"};
+    std::string positional[5] = {"genome", "ic", "4", "htm", "default"};
     std::size_t num_positional = 0;
     std::string prof_path;
     std::string perfetto_path;
@@ -68,12 +99,14 @@ main(int argc, char** argv)
             batch = false;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
             return 1;
-        } else if (num_positional < 4) {
+        } else if (num_positional < 5) {
             positional[num_positional++] = arg;
         } else {
             std::fprintf(stderr, "too many arguments at '%s'\n",
                          arg.c_str());
+            usage();
             return 1;
         }
     }
@@ -81,6 +114,7 @@ main(int argc, char** argv)
     const std::string& machine_name = positional[1];
     const unsigned threads = unsigned(std::atoi(positional[2].c_str()));
     const std::string& backend_name = positional[3];
+    const std::string& policy_name = positional[4];
 
     htm::BackendKind backend;
     if (backend_name == "htm") {
@@ -90,9 +124,21 @@ main(int argc, char** argv)
     } else if (backend_name == "ideal") {
         backend = htm::BackendKind::idealHtm;
     } else {
-        std::fprintf(stderr,
-                     "unknown backend '%s' (use htm|lock|ideal)\n",
+        std::fprintf(stderr, "unknown backend '%s'\n",
                      backend_name.c_str());
+        usage();
+        return 1;
+    }
+
+    htm::RetryPolicyKind policy_kind;
+    if (policy_name == "default") {
+        policy_kind = htm::RetryPolicyKind::machineDefault;
+    } else if (policy_name == "hardened") {
+        policy_kind = htm::RetryPolicyKind::hardened;
+    } else {
+        std::fprintf(stderr, "unknown policy '%s'\n",
+                     policy_name.c_str());
+        usage();
         return 1;
     }
 
@@ -103,19 +149,17 @@ main(int argc, char** argv)
             machine_index = i;
     }
     if (machine_index < 0) {
-        std::fprintf(stderr,
-                     "unknown machine '%s' (use bg|z12|ic|p8)\n",
+        std::fprintf(stderr, "unknown machine '%s'\n",
                      machine_name.c_str());
+        usage();
         return 1;
     }
     bool known = false;
     for (const std::string& name : suiteNames())
         known = known || name == bench;
     if (!known) {
-        std::fprintf(stderr, "unknown benchmark '%s'; choose from:\n",
-                     bench.c_str());
-        for (const std::string& name : suiteNames())
-            std::fprintf(stderr, "  %s\n", name.c_str());
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        usage();
         return 1;
     }
 
@@ -124,6 +168,7 @@ main(int argc, char** argv)
     if (threads == 0 || threads > machine.maxThreads()) {
         std::fprintf(stderr, "%s supports 1..%u threads\n",
                      machine.name.c_str(), machine.maxThreads());
+        usage();
         return 1;
     }
 
@@ -138,6 +183,7 @@ main(int argc, char** argv)
     for (RuntimeConfig config : SuiteRunner::tuningCandidates(machine)) {
         config.backend = backend;
         config.batchEpoch = batch;
+        config.policyKind = policy_kind;
         const Speedup current =
             runner.run(bench, config, machine, threads, true, 1);
         if (first || current.ratio > result.ratio) {
@@ -158,9 +204,10 @@ main(int argc, char** argv)
     }
 
     if (!quiet) {
-        std::printf("%s on %s with %u thread(s), backend %s\n",
+        std::printf("%s on %s with %u thread(s), backend %s, "
+                    "policy %s\n",
                     bench.c_str(), machine.name.c_str(), threads,
-                    htm::backendKindName(backend));
+                    htm::backendKindName(backend), policy_name.c_str());
         std::printf("  sequential: %12llu cycles\n",
                     (unsigned long long)result.seq.cycles);
         std::printf("  HTM:        %12llu cycles  -> speed-up %.2fx\n",

@@ -3,10 +3,13 @@
  * simcheck sweep driver.
  *
  * Sweeps seeds x machine presets x workloads through the differential
- * oracle. On a violation it shrinks the fuzzed schedule to a locally
+ * oracle — or, with --liveness, through the liveness oracle, usually
+ * combined with the deterministic hazard flags to chaos-test a retry
+ * policy. On a violation it shrinks the fuzzed schedule to a locally
  * minimal set of preemption points and prints a replay command line;
- * re-running with --seed/--schedule (plus the same workload, machine
- * and sizing flags) reproduces the exact failing interleaving.
+ * re-running with --seed/--schedule (plus the same workload, machine,
+ * sizing, hazard and policy flags — the printed artifact includes them
+ * all) reproduces the exact failing interleaving.
  *
  * Exit codes: 0 sweep clean (or, under --expect-failure, a failure
  * was found and shrunk within bounds), 1 violation found (or
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "check/liveness.hh"
 #include "check/oracle.hh"
 #include "check/shrink.hh"
 #include "htm/machine.hh"
@@ -79,10 +83,26 @@ usage(std::FILE* out)
         "  --ops N            transactions per thread (default 24)\n"
         "  --preempt-prob P   preemption probability per point\n"
         "  --max-delay C      max injected delay in cycles\n"
+        "  --ring-capacity N  event-ring capacity (default 32768)\n"
         "  --no-shrink        print the raw failing schedule\n"
         "  --quiet            suppress progress output\n"
+        "hazards (any --hazard-* flag enables injection; hazard.hh):\n"
+        "  --hazard-rate P    spurious transient-abort probability\n"
+        "  --hazard-interrupt R  interrupt rate per cycle (e.g. 1e-6)\n"
+        "  --hazard-capacity P   capacity-misestimate probability\n"
+        "  --hazard-lock-preempt P  lock-holder preemption "
+        "probability\n"
+        "  --hazard-seed S    hazard RNG seed (default 1)\n"
+        "  --hazard-pin T     pin thread T as a spurious-abort victim\n"
+        "  --policy P         default | hardened retry policy\n"
+        "liveness:\n"
+        "  --liveness         run the liveness oracle (progress\n"
+        "                     bounds) instead of the differential one\n"
+        "  --max-section-cycles C  completion bound (default 4000000)\n"
+        "  --starvation-bound N    peer-commit bound (default 512)\n"
         "self-test:\n"
-        "  --inject-fault F   none | miss-reader-conflict\n"
+        "  --inject-fault F   none | miss-reader-conflict | "
+        "stuck-retry\n"
         "  --expect-failure   exit 0 iff a failure is found and\n"
         "                     shrinks to at most --max-shrunk points\n"
         "  --max-shrunk N     shrink bound for --expect-failure "
@@ -100,6 +120,8 @@ struct Args
     std::string machines = "all";
     std::string workloads = "all";
     CheckOptions options;
+    LivenessOptions livenessOptions;
+    bool liveness = false;
     bool noShrink = false;
     bool quiet = false;
     bool expectFailure = false;
@@ -108,6 +130,48 @@ struct Args
     std::uint64_t replaySeed = 0;
     std::string replaySchedule;
 };
+
+/** Non-default oracle configuration, rendered as the flags that
+ *  recreate it — appended to the replay artifact so a failure found
+ *  under hazards/policy/liveness settings replays under the same. */
+std::string
+extraReplayFlags(const Args& args)
+{
+    std::string flags;
+    char buffer[64];
+    const auto add = [&](const char* flag, double value) {
+        std::snprintf(buffer, sizeof(buffer), " %s %g", flag, value);
+        flags += buffer;
+    };
+    const htm::HazardConfig& hazard = args.options.hazard;
+    if (hazard.enabled) {
+        if (hazard.spuriousAbortProb != 0.0)
+            add("--hazard-rate", hazard.spuriousAbortProb);
+        if (hazard.interruptRate != 0.0)
+            add("--hazard-interrupt", hazard.interruptRate);
+        if (hazard.capacityNoiseProb != 0.0)
+            add("--hazard-capacity", hazard.capacityNoiseProb);
+        if (hazard.lockPreemptProb != 0.0)
+            add("--hazard-lock-preempt", hazard.lockPreemptProb);
+        std::snprintf(buffer, sizeof(buffer), " --hazard-seed %llu",
+                      (unsigned long long) hazard.seed);
+        flags += buffer;
+        if (hazard.pinnedVictim >= 0) {
+            std::snprintf(buffer, sizeof(buffer), " --hazard-pin %d",
+                          hazard.pinnedVictim);
+            flags += buffer;
+        }
+    }
+    if (args.options.policyKind == htm::RetryPolicyKind::hardened)
+        flags += " --policy hardened";
+    if (args.options.fault == htm::CheckFault::missReaderConflict)
+        flags += " --inject-fault miss-reader-conflict";
+    if (args.options.fault == htm::CheckFault::stuckRetry)
+        flags += " --inject-fault stuck-retry";
+    if (args.liveness)
+        flags += " --liveness";
+    return flags;
+}
 
 void
 reportFailure(const Args& args, const char* workload,
@@ -122,10 +186,7 @@ reportFailure(const Args& args, const char* workload,
                 "--schedule \"%s\"\n",
                 workload, machine_token, (unsigned long long) seed,
                 args.options.threads, args.options.opsPerThread,
-                args.options.fault ==
-                        htm::CheckFault::missReaderConflict
-                    ? " --inject-fault miss-reader-conflict"
-                    : "",
+                extraReplayFlags(args).c_str(),
                 formatSchedule(schedule).c_str());
     if (!outcome.traceTail.empty())
         std::printf("  trace tail:\n%s", outcome.traceTail.c_str());
@@ -172,6 +233,56 @@ main(int argc, char** argv)
         } else if (flag == "--max-delay") {
             args.options.fuzz.maxDelay =
                 std::strtoull(next(), nullptr, 0);
+        } else if (flag == "--ring-capacity") {
+            args.options.ringCapacity =
+                std::strtoull(next(), nullptr, 0);
+        } else if (flag == "--hazard-rate") {
+            args.options.hazard.enabled = true;
+            args.options.hazard.spuriousAbortProb =
+                std::strtod(next(), nullptr);
+        } else if (flag == "--hazard-interrupt") {
+            args.options.hazard.enabled = true;
+            args.options.hazard.interruptRate =
+                std::strtod(next(), nullptr);
+        } else if (flag == "--hazard-capacity") {
+            args.options.hazard.enabled = true;
+            args.options.hazard.capacityNoiseProb =
+                std::strtod(next(), nullptr);
+        } else if (flag == "--hazard-lock-preempt") {
+            args.options.hazard.enabled = true;
+            args.options.hazard.lockPreemptProb =
+                std::strtod(next(), nullptr);
+        } else if (flag == "--hazard-seed") {
+            args.options.hazard.enabled = true;
+            args.options.hazard.seed =
+                std::strtoull(next(), nullptr, 0);
+        } else if (flag == "--hazard-pin") {
+            args.options.hazard.enabled = true;
+            args.options.hazard.pinnedVictim =
+                int(std::strtol(next(), nullptr, 0));
+        } else if (flag == "--policy") {
+            const std::string policy = next();
+            if (policy == "default") {
+                args.options.policyKind =
+                    htm::RetryPolicyKind::machineDefault;
+            } else if (policy == "hardened") {
+                args.options.policyKind =
+                    htm::RetryPolicyKind::hardened;
+            } else {
+                std::fprintf(stderr,
+                             "unknown policy '%s' (default | "
+                             "hardened)\n",
+                             policy.c_str());
+                return 2;
+            }
+        } else if (flag == "--liveness") {
+            args.liveness = true;
+        } else if (flag == "--max-section-cycles") {
+            args.livenessOptions.maxSectionCycles =
+                std::strtoull(next(), nullptr, 0);
+        } else if (flag == "--starvation-bound") {
+            args.livenessOptions.starvationCommitBound =
+                std::strtoull(next(), nullptr, 0);
         } else if (flag == "--inject-fault") {
             const std::string fault = next();
             if (fault == "none") {
@@ -179,6 +290,8 @@ main(int argc, char** argv)
             } else if (fault == "miss-reader-conflict") {
                 args.options.fault =
                     htm::CheckFault::missReaderConflict;
+            } else if (fault == "stuck-retry") {
+                args.options.fault = htm::CheckFault::stuckRetry;
             } else {
                 std::fprintf(stderr, "unknown fault '%s'\n",
                              fault.c_str());
@@ -252,6 +365,20 @@ main(int argc, char** argv)
         }
     }
 
+    // Dispatch to the selected oracle: safety (differential) by
+    // default, progress (liveness) under --liveness.
+    const auto runOracle = [&args](const WorkloadFactory& factory,
+                                   const htm::MachineConfig& machine,
+                                   std::uint64_t seed,
+                                   const Schedule* replay) {
+        if (args.liveness) {
+            return runLiveness(factory, machine, seed, args.options,
+                               args.livenessOptions, replay);
+        }
+        return runDifferential(factory, machine, seed, args.options,
+                               replay);
+    };
+
     // --- Replay mode: one run, exact schedule, no sweep. ---
     if (args.replayMode) {
         if (workloads.size() != 1 || machines.size() != 1) {
@@ -267,8 +394,8 @@ main(int argc, char** argv)
             return 2;
         }
         const RunOutcome outcome =
-            runDifferential(*workloads[0], machines[0].config,
-                            args.replaySeed, args.options, &schedule);
+            runOracle(*workloads[0], machines[0].config,
+                      args.replaySeed, &schedule);
         if (outcome.ok) {
             std::printf("replay OK: %llu commits, no violation\n",
                         (unsigned long long) outcome.commits);
@@ -285,8 +412,8 @@ main(int argc, char** argv)
          seed < args.firstSeed + args.seeds; ++seed) {
         for (const MachineChoice& machine : machines) {
             for (const WorkloadFactory* factory : workloads) {
-                const RunOutcome outcome = runDifferential(
-                    *factory, machine.config, seed, args.options);
+                const RunOutcome outcome = runOracle(
+                    *factory, machine.config, seed, nullptr);
                 ++runs;
                 if (outcome.ok)
                     continue;
@@ -294,10 +421,14 @@ main(int argc, char** argv)
                 Schedule schedule = outcome.fired;
                 unsigned evaluations = 0;
                 if (!args.noShrink) {
+                    // Hazard config and seed are held fixed across
+                    // shrink evaluations: only the preemption
+                    // schedule is minimized. A hazard-only livelock
+                    // (schedule-independent) shrinks to the empty
+                    // schedule.
                     const auto refails = [&](const Schedule& s) {
-                        return !runDifferential(*factory,
-                                                machine.config, seed,
-                                                args.options, &s)
+                        return !runOracle(*factory, machine.config,
+                                          seed, &s)
                                     .ok;
                     };
                     ShrinkResult shrunk =
@@ -308,9 +439,8 @@ main(int argc, char** argv)
                 // Re-run the minimized schedule to report *its*
                 // outcome (reason and trace may differ from the
                 // original fuzzed run's).
-                const RunOutcome minimized =
-                    runDifferential(*factory, machine.config, seed,
-                                    args.options, &schedule);
+                const RunOutcome minimized = runOracle(
+                    *factory, machine.config, seed, &schedule);
                 const RunOutcome& report =
                     minimized.ok ? outcome : minimized;
                 if (!args.quiet && !args.noShrink) {

@@ -87,6 +87,8 @@ runDifferential(const WorkloadFactory& workload,
 
     htm::RuntimeConfig config(machine);
     config.checkFault = options.fault;
+    config.hazard = options.hazard;
+    config.policyKind = options.policyKind;
     htm::Runtime runtime(config, threads);
     CheckObserver observer(options.ringCapacity);
     runtime.setObserver(&observer);
@@ -120,7 +122,21 @@ runDifferential(const WorkloadFactory& workload,
         outcome.traceTail = formatTrace(observer.ring.events());
 
     // --- Phase 2: in-flight invariants over the event trace. ---
-    if (observer.ring.dropped() == 0) {
+    if (observer.ring.dropped() != 0) {
+        // A wrapped ring means the invariants would only see a
+        // truncated trace; silently "passing" on it would be a hole in
+        // the oracle, so overflow is itself a failure.
+        return fail(
+            "event ring overflowed: " +
+            std::to_string(observer.ring.dropped()) +
+            " of " +
+            std::to_string(observer.ring.dropped() +
+                           observer.ring.size()) +
+            " events dropped, so the trace invariants cannot be "
+            "checked; raise --ring-capacity (currently " +
+            std::to_string(options.ringCapacity) + ")");
+    }
+    {
         const std::string error =
             checkTraceInvariants(observer.ring.events(), threads);
         if (!error.empty())

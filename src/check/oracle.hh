@@ -44,12 +44,18 @@ struct CheckOptions
     unsigned opsPerThread = 24;
     /** Schedule-fuzzing knobs (ignored when replaying). */
     FuzzOptions fuzz;
-    /** Event-ring capacity; invariants are only checked when the ring
-     *  never wrapped, so size this above threads * opsPerThread *
-     *  worst-case retries. */
+    /** Event-ring capacity; the oracle fails loudly (with guidance to
+     *  raise this) if the ring ever wraps, so size it above threads *
+     *  opsPerThread * worst-case retries. */
     std::size_t ringCapacity = std::size_t(1) << 15;
     /** Model fault to inject (simcheck self-test). */
     htm::CheckFault fault = htm::CheckFault::none;
+    /** Hazard injection for the concurrent phase (hazard.hh); off by
+     *  default. The serial replay never injects — hazards must not
+     *  change what the committed operations compute. */
+    htm::HazardConfig hazard;
+    /** Retry policy the concurrent phase runs under. */
+    htm::RetryPolicyKind policyKind = htm::RetryPolicyKind::machineDefault;
 };
 
 /** Verdict of one oracle run. */

@@ -5,7 +5,11 @@
  * EventRing is a fixed-capacity ring buffer implementing TxObserver:
  * it retains the most recent events of a run in bounded memory, which
  * is what lets the long seed sweeps trace every run without growing
- * unboundedly. When the ring never wrapped it holds the complete
+ * unboundedly. Overflow is observable (dropped() counts the events
+ * that fell off the front) and the differential oracle treats it as a
+ * failure in its own right — a truncated trace must never silently
+ * "pass" the invariants (oracle.cc, `--ring-capacity` in
+ * check_runner). When the ring never wrapped it holds the complete
  * event history and checkTraceInvariants() can verify the
  * interleaving-level invariants of the HTM model:
  *

@@ -12,6 +12,7 @@
 #ifndef HTMSIM_HTM_ABORT_HH
 #define HTMSIM_HTM_ABORT_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace htmsim::htm
@@ -38,7 +39,17 @@ enum class AbortCause : std::uint8_t
     explicitAbort,
     /** Blue Gene/Q reports no reason codes at all. */
     unclassified,
+    /** Injected spurious transient abort (hazard layer, hazard.hh). */
+    spurious,
+    /** Injected interrupt-style abort (hazard layer, hazard.hh). */
+    interrupt,
 };
+
+/** Number of AbortCause values; sizes every per-cause counter array
+ *  (TxStats::trueCauseAborts, prof::SiteProfile::abortCauses) so the
+ *  tallies grow in lockstep when a cause is added. */
+constexpr std::size_t numAbortCauses =
+    std::size_t(AbortCause::interrupt) + 1;
 
 /** Figure 3 reporting buckets. */
 enum class AbortCategory : std::uint8_t
@@ -65,6 +76,11 @@ categorize(AbortCause cause)
         return AbortCategory::lockConflict;
       case AbortCause::cacheFetch:
       case AbortCause::explicitAbort:
+      // Injected hazards imitate what real reason codes call
+      // "miscellaneous"/"interrupt" conditions, so they report as
+      // "other" on machines that have codes at all.
+      case AbortCause::spurious:
+      case AbortCause::interrupt:
         return AbortCategory::other;
       default:
         return AbortCategory::unclassified;

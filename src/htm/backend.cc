@@ -39,9 +39,10 @@ TmBackend::waitToBegin(Runtime& runtime, sim::ThreadContext& ctx)
 
 void
 TmBackend::backoff(Runtime& runtime, sim::ThreadContext& ctx,
-                   unsigned consecutive_aborts)
+                   unsigned consecutive_aborts,
+                   bool deterministic_jitter)
 {
-    runtime.backoff(ctx, consecutive_aborts);
+    runtime.backoff(ctx, consecutive_aborts, deterministic_jitter);
 }
 
 void
@@ -78,10 +79,15 @@ HtmBackend::runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
     // the lock is subscribed lazily all live in the RetryPolicy.
     RetryPolicy& policy = *policies_[ctx.id()];
     const bool lazy = policy.lazySubscription();
+    const bool det_jitter = policy.deterministicBackoff();
     policy.beginSection();
 
     unsigned consecutive = 0;
     for (;;) {
+        // Lemming-storm guard (Figure 1 line 9): re-check the lock
+        // before every HTM re-entry, not just the first — waitToBegin
+        // spins until the fallback lock is free, so a convoy drains
+        // instead of feeding itself doomed transactional attempts.
         waitToBegin(runtime, ctx);
         const AbortCause cause = attemptOnce(runtime, ctx, body, lazy);
         if (cause == AbortCause::none) {
@@ -89,8 +95,14 @@ HtmBackend::runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
             return;
         }
         ++consecutive;
-        if (policy.onAbort(cause, lockHeld(runtime))) {
-            backoff(runtime, ctx, consecutive);
+        const bool retry = policy.onAbort(cause, lockHeld(runtime));
+        // stuckRetry (simcheck self-tests only): model the classic
+        // driver bug of ignoring the policy's stop decision — no
+        // fallback is ever taken, so a persistently aborting section
+        // livelocks. The liveness oracle must catch this.
+        if (retry ||
+            runtime.config().checkFault == CheckFault::stuckRetry) {
+            backoff(runtime, ctx, consecutive, det_jitter);
             continue;
         }
         runUnderGlobalLock(runtime, ctx, body);

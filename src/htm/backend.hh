@@ -85,9 +85,12 @@ class TmBackend
     /** Wait out a held fallback lock before beginning (Fig. 1 l. 9). */
     static void waitToBegin(Runtime& runtime, sim::ThreadContext& ctx);
 
-    /** Charge randomized exponential backoff after an abort. */
+    /** Charge capped exponential backoff after an abort (jitter from
+     *  the thread's rng, or a deterministic hash — see
+     *  Runtime::backoff). */
     static void backoff(Runtime& runtime, sim::ThreadContext& ctx,
-                        unsigned consecutive_aborts);
+                        unsigned consecutive_aborts,
+                        bool deterministic_jitter = false);
 
     /** Run @p body irrevocably under the global fallback lock. */
     static void runUnderGlobalLock(Runtime& runtime,

@@ -17,6 +17,8 @@ abortCauseName(AbortCause cause)
       case AbortCause::cacheFetch: return "cache-fetch";
       case AbortCause::explicitAbort: return "explicit";
       case AbortCause::unclassified: return "unclassified";
+      case AbortCause::spurious: return "spurious";
+      case AbortCause::interrupt: return "interrupt";
     }
     return "?";
 }

@@ -8,6 +8,8 @@ namespace htmsim::htm
 std::unique_ptr<RetryPolicy>
 makeRetryPolicy(const RuntimeConfig& config)
 {
+    if (config.policyKind == RetryPolicyKind::hardened)
+        return std::make_unique<HardenedRetryPolicy>(config.retry);
     if (config.machine.vendor == Vendor::blueGeneQ) {
         return std::make_unique<BgqAdaptivePolicy>(
             config.bgq.maxRetries, config.bgq.adaptation,

@@ -22,12 +22,19 @@
  *    (the Section 6.1 "NoRetryTM" path).
  * BoundedRetryPolicy generalizes NoRetryPolicy to N attempts (the
  * Section 6.1 "OptRetryTM" path with a tuned attempt budget).
+ *
+ * HardenedRetryPolicy (this PR) is the starvation-proof variant built
+ * for hazard-injected runs (hazard.hh, DESIGN.md Section 8): Figure 1
+ * budgets plus a hard per-section attempt watchdog, deterministic
+ * backoff jitter, and lemming-storm adaptation. Its progress bound:
+ * every section reaches its fallback within `watchdogAttempts` HTM
+ * attempts no matter what the abort stream looks like.
  */
 
 #ifndef HTMSIM_HTM_RETRY_POLICY_HH
 #define HTMSIM_HTM_RETRY_POLICY_HH
 
-#include <cassert>
+#include <algorithm>
 #include <memory>
 
 #include "abort.hh"
@@ -37,6 +44,18 @@ namespace htmsim::htm
 {
 
 struct RuntimeConfig;
+
+/** Which retry-policy implementation a run's HTM sections use
+ *  (RuntimeConfig::policyKind; string names in the tools: "default" /
+ *  "hardened"). */
+enum class RetryPolicyKind : std::uint8_t
+{
+    /** The machine's own mechanism: BgqAdaptivePolicy on Blue Gene/Q,
+     *  Fig1ThreeCounterPolicy elsewhere. */
+    machineDefault,
+    /** HardenedRetryPolicy on every machine. */
+    hardened,
+};
 
 /** Maximum retry counts of the Figure 1 mechanism (tuning knobs). */
 struct RetryCounts
@@ -95,6 +114,11 @@ class RetryPolicy
     /** Attempts subscribe to the fallback lock lazily (at commit)
      *  rather than eagerly (at begin). */
     virtual bool lazySubscription() const { return false; }
+
+    /** Post-abort backoff jitter is a deterministic hash of
+     *  (tid, consecutive aborts) instead of a draw from the thread's
+     *  main rng stream (see Runtime::backoff). */
+    virtual bool deterministicBackoff() const { return false; }
 };
 
 /**
@@ -221,10 +245,12 @@ class NoRetryPolicy final : public RetryPolicy
 class BoundedRetryPolicy final : public RetryPolicy
 {
   public:
+    /** A non-positive budget clamps to one attempt: the hardware
+     *  always runs the first attempt, so "zero attempts" cannot mean
+     *  anything stricter than NoRetryPolicy. */
     explicit BoundedRetryPolicy(int max_attempts)
-        : maxAttempts_(max_attempts)
+        : maxAttempts_(std::max(max_attempts, 1))
     {
-        assert(max_attempts >= 1);
     }
 
     void
@@ -245,10 +271,94 @@ class BoundedRetryPolicy final : public RetryPolicy
 };
 
 /**
+ * The starvation-proof policy (DESIGN.md Section 8). Three Figure 1
+ * budgets, hardened on three fronts for hazard-heavy environments:
+ *
+ *  - Watchdog: a hard cap of `watchdogAttempts` HTM attempts per
+ *    section, regardless of which budgets the abort stream drains.
+ *    This is the guaranteed-progress bound — an adversarial stream of
+ *    injected aborts cannot keep a section out of its fallback, and
+ *    once a section holds the fallback lock it commits in bounded
+ *    virtual time (the body is finite and lock holders are never
+ *    aborted), so every section terminates.
+ *  - Storm adaptation: repeated fallbacks shrink the transient budget
+ *    to one (convoy bound — a thread joining a lemming storm stops
+ *    feeding it with doomed retries); commits decay the score back.
+ *  - Deterministic backoff jitter (deterministicBackoff()), so the
+ *    retry cadence of a replayed hazard schedule is reproducible and
+ *    independent of the thread's main rng stream position.
+ */
+class HardenedRetryPolicy final : public RetryPolicy
+{
+  public:
+    /** Hard per-section HTM attempt bound (the watchdog). Above the
+     *  sum of the default Figure 1 budgets that matter in practice,
+     *  so it only fires when classification is being gamed (e.g.
+     *  alternating injected causes replenishing each other's
+     *  headroom). */
+    static constexpr int watchdogAttempts = 12;
+    /** Fallback-score decay applied on every section outcome. */
+    static constexpr double stormDecay = 0.85;
+    /** Score above which the transient budget shrinks to one. */
+    static constexpr double stormThreshold = 2.5;
+
+    explicit HardenedRetryPolicy(RetryCounts counts) : counts_(counts)
+    {
+        beginSection();
+    }
+
+    void
+    beginSection() override
+    {
+        lockRetries_ = counts_.lockRetries;
+        persistentRetries_ = counts_.persistentRetries;
+        transientRetries_ = counts_.transientRetries;
+        if (score_ > stormThreshold)
+            transientRetries_ = std::min(transientRetries_, 1);
+        watchdog_ = watchdogAttempts;
+    }
+
+    bool
+    onAbort(AbortCause cause, bool lock_held) override
+    {
+        if (--watchdog_ <= 0)
+            return false;
+        if (lock_held || cause == AbortCause::lockConflict)
+            return --lockRetries_ > 0;
+        if (isPersistentCause(cause))
+            return --persistentRetries_ > 0;
+        return --transientRetries_ > 0;
+    }
+
+    void
+    onCommit() override
+    {
+        score_ *= stormDecay;
+    }
+
+    void
+    onFallback() override
+    {
+        score_ = score_ * stormDecay + 1.0;
+    }
+
+    bool deterministicBackoff() const override { return true; }
+
+  private:
+    RetryCounts counts_;
+    int lockRetries_ = 0;
+    int persistentRetries_ = 0;
+    int transientRetries_ = 0;
+    int watchdog_ = 0;
+    double score_ = 0.0;
+};
+
+/**
  * The policy an HTM-backed atomic section uses under @p config:
- * BgqAdaptivePolicy on Blue Gene/Q (the machine's system software owns
- * the mechanism), Fig1ThreeCounterPolicy elsewhere. One instance per
- * thread (policies carry cross-section state).
+ * HardenedRetryPolicy everywhere when config.policyKind requests it,
+ * otherwise BgqAdaptivePolicy on Blue Gene/Q (the machine's system
+ * software owns the mechanism) and Fig1ThreeCounterPolicy elsewhere.
+ * One instance per thread (policies carry cross-section state).
  */
 std::unique_ptr<RetryPolicy> makeRetryPolicy(const RuntimeConfig& config);
 

@@ -88,6 +88,7 @@ Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
         makeCapacityModel(machine, config_.ignoreCapacity || ideal);
     backend_ = makeBackend(config_, num_threads);
     observer_ = config_.observer;
+    hazard_.reset(config_.hazard, num_threads);
     stats_.resize(num_threads);
     activePerCore_.assign(machine.numCores, 0);
     freeSpecIds_ = specIdPool_;
@@ -223,6 +224,9 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     tx.resetAttemptState();
     tx.attemptStart_ = ctx.now();
 
+    if (hazard_.enabled())
+        hazard_.onAttemptStart(tx.tid_, ctx.now());
+
     acquireSpecId(tx, ctx);
 
     ctx.advance(txBeginCost_);
@@ -249,6 +253,16 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
     ctx.advance(txEndCost_);
     ctx.sync();
     tx.checkDoom();
+
+    if (hazard_.enabled()) {
+        // Last chance for this attempt's armed hazards: an interrupt
+        // or a spurious event hitting between the body's final access
+        // and tend still kills the whole attempt.
+        const AbortCause hazard =
+            hazard_.onCommitPoint(tx.tid_, ctx.now());
+        if (hazard != AbortCause::none)
+            tx.selfAbort(hazard);
+    }
 
     if (lazy_subscribe && lockWord_ != 0) {
         // Blue Gene/Q long-running mode: lazy subscription checks the
@@ -389,12 +403,24 @@ Runtime::waitToBegin(sim::ThreadContext& ctx)
 }
 
 void
-Runtime::backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts)
+Runtime::backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts,
+                 bool deterministic_jitter)
 {
     const unsigned shift =
         std::min(consecutive_aborts, config_.maxBackoffShift);
     const Cycles base = config_.backoffBase << shift;
-    const Cycles jitter = Cycles(double(base) * ctx.rng().nextDouble());
+    Cycles jitter;
+    if (deterministic_jitter) {
+        // Hardened policy: jitter is a pure hash of (tid, consecutive
+        // aborts). The thread's main rng stream is untouched, so a
+        // replayed hazard schedule sees the identical retry cadence
+        // no matter how many backoffs preceded it.
+        std::uint64_t h = (std::uint64_t(ctx.id()) << 32) |
+                          consecutive_aborts;
+        jitter = Cycles(sim::splitMix64(h) % (base + 1));
+    } else {
+        jitter = Cycles(double(base) * ctx.rng().nextDouble());
+    }
     ctx.advance(base + jitter);
     ctx.sync();
     stats_[ctx.id()].backoffCycles += base + jitter;
@@ -439,6 +465,20 @@ Runtime::runIrrevocable(sim::ThreadContext& ctx, Tx& tx,
 {
     acquireGlobalLock(ctx);
     const Cycles hold_start = ctx.now();
+    if (hazard_.enabled()) {
+        // Holder preemption: the "OS" schedules the fresh lock holder
+        // out. The stall is charged while the lock is held, so every
+        // section spinning behind it convoys — the pathology the
+        // hardened policy's storm adaptation bounds.
+        const Cycles stall = hazard_.lockHolderStall(tx.tid_);
+        if (stall != 0) {
+            ctx.advance(stall);
+            ctx.sync();
+            TxStats& stats = stats_[tx.tid_];
+            ++stats.hazardPreemptStalls;
+            stats.hazardStallCycles += stall;
+        }
+    }
     {
         IrrevocableScope scope(tx, ctx);
         body(tx);

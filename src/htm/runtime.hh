@@ -31,6 +31,7 @@
 #include "capacity_model.hh"
 #include "flat_table.hh"
 #include "function_ref.hh"
+#include "hazard.hh"
 #include "machine.hh"
 #include "observer.hh"
 #include "retry_policy.hh"
@@ -90,6 +91,11 @@ enum class CheckFault : std::uint8_t
      *  concurrent readers of its line, so a reader can commit a stale
      *  snapshot (lost updates — a serializability violation). */
     missReaderConflict,
+    /** Retry-driver bug: the HTM backend ignores the policy's stop
+     *  decision and never falls back to the lock, so a thread whose
+     *  attempts keep aborting retries forever (a liveness violation
+     *  the liveness oracle must catch). */
+    stuckRetry,
 };
 
 /** Blue Gene/Q-specific runtime knobs (Section 2.1 / Section 3). */
@@ -117,6 +123,11 @@ struct RuntimeConfig
     RetryCounts retry;
     ConflictPolicy policy = ConflictPolicy::attackerWins;
 
+    /** Which retry-policy implementation HTM sections run under: the
+     *  machine's own mechanism, or the hardened starvation-proof
+     *  policy (retry_policy.hh). */
+    RetryPolicyKind policyKind = RetryPolicyKind::machineDefault;
+
     /** How atomic() executes: best-effort HTM (the machines), the
      *  global-lock-only baseline, or the ideal-HTM oracle. */
     BackendKind backend = BackendKind::htm;
@@ -133,6 +144,10 @@ struct RuntimeConfig
 
     /** Injected model fault for simcheck oracle self-tests only. */
     CheckFault checkFault = CheckFault::none;
+
+    /** Deterministic hazard injection (hazard.hh). Off by default;
+     *  when off the layer is provably zero-perturbation. */
+    HazardConfig hazard;
 
     /**
      * Lifecycle-event observer to register at construction (txprof /
@@ -156,10 +171,12 @@ struct RuntimeConfig
      * Epoch-batched scheduling fast path (DESIGN.md Section 5). On by
      * default; simulated results are bit-identical either way. The
      * switch exists as an escape hatch and for A/B verification
-     * (`--no-batch` in the tools). Declared last, in the struct's
-     * tail padding: configs are heap-allocated before the simulation
-     * starts, and simulated metrics are sensitive to host allocation
-     * sizes, so sizeof(RuntimeConfig) must not change.
+     * (`--no-batch` in the tools). Declared last so flag additions
+     * land in tail padding when possible: configs are heap-allocated
+     * before the simulation starts and simulated metrics are
+     * sensitive to host allocation sizes, so a sizeof(RuntimeConfig)
+     * change shifts simulated numbers across builds (same-build A/B
+     * comparisons, which all bit-identity tests use, are unaffected).
      */
     bool batchEpoch = true;
 
@@ -504,8 +521,12 @@ class Runtime
     void acquireGlobalLock(sim::ThreadContext& ctx);
     void releaseGlobalLock(sim::ThreadContext& ctx);
 
-    /** Charge randomized exponential backoff after an abort. */
-    void backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts);
+    /** Charge capped exponential backoff after an abort. Jitter is
+     *  drawn from ctx.rng() by default; @p deterministic_jitter
+     *  (hardened policy) hashes (tid, consecutive) instead, keeping
+     *  the thread's main rng stream position schedule-independent. */
+    void backoff(sim::ThreadContext& ctx, unsigned consecutive_aborts,
+                 bool deterministic_jitter = false);
 
     /** Resolve a conflict on @p line between the attacking access and
      *  a peer transaction. */
@@ -611,6 +632,11 @@ class Runtime
     std::vector<TxStats> stats_;
     TraceCollector trace_;
     TxObserver* observer_ = nullptr;
+
+    /** Hazard injector (hazard.hh). Embedded by value and initialized
+     *  unconditionally so enabling hazards changes no allocation
+     *  sequence; every hot-path hook is gated on hazard_.enabled(). */
+    HazardInjector hazard_;
 
     /** The single-memory-word global fallback lock (Section 3). */
     std::uint64_t lockWord_ = 0;

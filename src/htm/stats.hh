@@ -37,7 +37,7 @@ struct TxStats
     /** Aborts as classified through the machine's reason codes. */
     std::array<std::uint64_t, numAbortCategories> reportedAborts{};
     /** Aborts by model-internal true cause. */
-    std::array<std::uint64_t, 8> trueCauseAborts{};
+    std::array<std::uint64_t, numAbortCauses> trueCauseAborts{};
     /** Transactional loads/stores executed (committed or not). */
     std::uint64_t txLoads = 0;
     std::uint64_t txStores = 0;
@@ -66,6 +66,20 @@ struct TxStats
     /** Stalls: randomized post-abort backoff. */
     std::uint64_t backoffCycles = 0;
 
+    // -- Hazard attribution (hazard.hh). Spurious/interrupt aborts are
+    //    already tallied per cause in trueCauseAborts; the counters
+    //    below cover the injections that masquerade as organic events
+    //    (capacity misestimates abort with capacityOverflow, holder
+    //    preemption shows up only as longer lock hold times).
+
+    /** Aborts whose capacityOverflow cause was a hazard misestimate. */
+    std::uint64_t hazardCapacityAborts = 0;
+    /** Fallback-lock acquisitions hit by an injected holder
+     *  preemption. */
+    std::uint64_t hazardPreemptStalls = 0;
+    /** Cycles spent preempted while holding the fallback lock. */
+    std::uint64_t hazardStallCycles = 0;
+
     std::uint64_t
     totalAborts() const
     {
@@ -78,6 +92,15 @@ struct TxStats
     std::uint64_t totalCommits() const
     {
         return htmCommits + irrevocableCommits + constrainedCommits;
+    }
+
+    /** Aborts injected outright by the hazard layer. */
+    std::uint64_t
+    hazardAborts() const
+    {
+        return trueCauseAborts[std::size_t(AbortCause::spurious)] +
+               trueCauseAborts[std::size_t(AbortCause::interrupt)] +
+               hazardCapacityAborts;
     }
 
     /**
@@ -150,6 +173,9 @@ struct TxStats
         fallbackCycles += other.fallbackCycles;
         lockWaitCycles += other.lockWaitCycles;
         backoffCycles += other.backoffCycles;
+        hazardCapacityAborts += other.hazardCapacityAborts;
+        hazardPreemptStalls += other.hazardPreemptStalls;
+        hazardStallCycles += other.hazardStallCycles;
         return *this;
     }
 };

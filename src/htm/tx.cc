@@ -91,6 +91,13 @@ Tx::loadWord(const void* addr, std::size_t size)
         selfAbort(AbortCause::cacheFetch);
     }
 
+    if (runtime_->hazard_.enabled()) {
+        const AbortCause hazard =
+            runtime_->hazard_.onAccess(tid_, ctx_->now());
+        if (hazard != AbortCause::none)
+            selfAbort(hazard);
+    }
+
     // Read-mostly transactions keep the write buffer empty: one size
     // check skips the guaranteed-miss hash probe.
     if (!writeBuffer_.empty()) {
@@ -174,6 +181,13 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
     if (runtime_->cacheFetchProb_ > 0.0 &&
         rng().nextBool(runtime_->cacheFetchProb_)) {
         selfAbort(AbortCause::cacheFetch);
+    }
+
+    if (runtime_->hazard_.enabled()) {
+        const AbortCause hazard =
+            runtime_->hazard_.onAccess(tid_, ctx_->now());
+        if (hazard != AbortCause::none)
+            selfAbort(hazard);
     }
 
     // Same memo as loadWord, for the write flags.
@@ -329,6 +343,16 @@ Tx::touchCapacityLine(std::uintptr_t addr, bool is_write)
         line_number, new_store, sharers, account);
     if (cause != AbortCause::none)
         selfAbort(cause);
+    if (runtime_->hazard_.enabled() &&
+        runtime_->hazard_.capacityExceeded(tid_,
+                                           capacityLines_.size())) {
+        // Capacity misestimate: the hardware "granted" a tiny buffer
+        // this attempt. The abort carries the organic capacity cause —
+        // that is the deception the retry policy must survive — and is
+        // tallied separately for attribution.
+        ++runtime_->stats_[tid_].hazardCapacityAborts;
+        selfAbort(AbortCause::capacityOverflow);
+    }
 }
 
 void

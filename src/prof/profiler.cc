@@ -98,6 +98,11 @@ TxProfiler::report() const
             site.wastedCycles += span;
             if (std::size_t(event.cause) < site.abortCauses.size())
                 ++site.abortCauses[std::size_t(event.cause)];
+            if (event.cause == htm::AbortCause::spurious ||
+                event.cause == htm::AbortCause::interrupt) {
+                ++site.hazardAborts;
+                site.hazardWastedCycles += span;
+            }
             pending[event.tid] = {true, event.site, event.cycles};
             break;
           }
@@ -117,6 +122,7 @@ TxProfiler::report() const
         result.committedCycles += site.committedCycles;
         result.wastedCycles += site.wastedCycles;
         result.fallbackCycles += site.fallbackCycles;
+        result.hazardWastedCycles += site.hazardWastedCycles;
     }
 
     // Conflict matrix: (attacker site, victim site) -> counts plus a

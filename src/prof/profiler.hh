@@ -47,7 +47,12 @@ struct SiteProfile
     /** Global-lock fallback executions. */
     std::uint64_t fallbackCommits = 0;
     /** Aborts by true model-internal cause. */
-    std::array<std::uint64_t, 8> abortCauses{};
+    std::array<std::uint64_t, htm::numAbortCauses> abortCauses{};
+    /** Subset of aborts injected by the hazard layer (spurious and
+     *  interrupt causes, hazard.hh). */
+    std::uint64_t hazardAborts = 0;
+    /** Wasted cycles of those hazard-injected aborts. */
+    std::uint64_t hazardWastedCycles = 0;
 
     /** Cycles of committed attempts (attempt start -> commit). */
     std::uint64_t committedCycles = 0;
@@ -124,6 +129,8 @@ struct ProfileReport
     std::uint64_t committedCycles = 0;
     std::uint64_t wastedCycles = 0;
     std::uint64_t fallbackCycles = 0;
+    /** Wasted cycles attributed to hazard-injected aborts. */
+    std::uint64_t hazardWastedCycles = 0;
 
     double
     wastedWorkRatio() const

@@ -80,7 +80,15 @@ writeProfileJson(std::ostream& out, const RunInfo& info,
     out << "    \"lockWaitCycles\": " << info.stats.lockWaitCycles
         << ",\n";
     out << "    \"backoffCycles\": " << info.stats.backoffCycles
-        << "\n";
+        << ",\n";
+    out << "    \"hazardAborts\": " << info.stats.hazardAborts()
+        << ",\n";
+    out << "    \"hazardCapacityAborts\": "
+        << info.stats.hazardCapacityAborts << ",\n";
+    out << "    \"hazardPreemptStalls\": "
+        << info.stats.hazardPreemptStalls << ",\n";
+    out << "    \"hazardStallCycles\": "
+        << info.stats.hazardStallCycles << "\n";
     out << "  },\n";
     out << "  \"capture\": {\n";
     out << "    \"events\": " << report.events << ",\n";
@@ -108,6 +116,10 @@ writeProfileJson(std::ostream& out, const RunInfo& info,
             << ",\n";
         out << "      \"fallbackCycles\": " << site.fallbackCycles
             << ",\n";
+        out << "      \"hazardAborts\": " << site.hazardAborts
+            << ",\n";
+        out << "      \"hazardWastedCycles\": "
+            << site.hazardWastedCycles << ",\n";
         out << "      \"stallCycles\": " << site.stallCycles << ",\n";
         out << "      \"lockWaitCycles\": " << site.lockWaitCycles
             << ",\n";
@@ -259,6 +271,18 @@ printReport(std::FILE* out, const RunInfo& info,
                  info.stats.abortRatio() * 100.0,
                  info.stats.serializationRatio() * 100.0,
                  info.stats.wastedWorkRatio() * 100.0);
+    if (info.stats.hazardAborts() != 0 ||
+        info.stats.hazardPreemptStalls != 0) {
+        std::fprintf(out,
+                     "  hazards: %" PRIu64 " injected aborts (%" PRIu64
+                     " capacity)  %" PRIu64 " lock-holder stalls "
+                     "(%.1f kc, %.1f kc wasted in aborted attempts)\n",
+                     info.stats.hazardAborts(),
+                     info.stats.hazardCapacityAborts,
+                     info.stats.hazardPreemptStalls,
+                     double(info.stats.hazardStallCycles) / 1000.0,
+                     double(report.hazardWastedCycles) / 1000.0);
+    }
     if (report.droppedEvents != 0 || report.droppedConflicts != 0) {
         std::fprintf(out,
                      "  WARNING: capture truncated (%" PRIu64

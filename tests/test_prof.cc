@@ -45,7 +45,7 @@ struct CandidateMetrics
     std::uint64_t aborts = 0;
     std::uint64_t committedTxCycles = 0;
     std::uint64_t wastedTxCycles = 0;
-    std::array<std::uint64_t, 8> causes{};
+    std::array<std::uint64_t, htm::numAbortCauses> causes{};
 
     bool
     operator==(const CandidateMetrics& other) const = default;

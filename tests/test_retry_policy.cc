@@ -193,6 +193,146 @@ TEST(NoRetryPolicy, NeverRetries)
     EXPECT_FALSE(policy.onAbort(AbortCause::lockConflict, true));
 }
 
+TEST(BoundedRetryPolicy, ZeroAndNegativeBudgetsClampToOneAttempt)
+{
+    // A budget of zero attempts would mean "never even try", which no
+    // caller can want from an *attempt* bound; the constructor clamps
+    // to one attempt so the first abort gives up without ever having
+    // underflowed the counter into a ~2^31 retry loop.
+    BoundedRetryPolicy zero(0);
+    zero.beginSection();
+    EXPECT_FALSE(zero.onAbort(AbortCause::dataConflict, false));
+    EXPECT_FALSE(zero.onAbort(AbortCause::dataConflict, false));
+
+    BoundedRetryPolicy negative(-7);
+    negative.beginSection();
+    EXPECT_FALSE(negative.onAbort(AbortCause::lockConflict, true));
+}
+
+TEST(Fig1ThreeCounterPolicy, TerminatesUnderAnInfiniteAbortStream)
+{
+    // Starvation edge: a transaction that aborts forever (adversarial
+    // hazard injection, or a pathological conflict pattern) must
+    // reach its first "stop, take the fallback" decision in at most
+    // lock+persistent+transient aborts -- the counters are
+    // independent, so the worst-case adversary drains all three
+    // before any single one runs out. The driver escalates at that
+    // first false (backend.cc), so this bound IS the number of
+    // hardware attempts an infinite abort stream can burn.
+    const RetryCounts counts{4, 1, 8};
+    const int bound = counts.lockRetries + counts.persistentRetries +
+                      counts.transientRetries;
+
+    const AbortCause causes[] = {
+        AbortCause::dataConflict, AbortCause::lockConflict,
+        AbortCause::capacityOverflow, AbortCause::explicitAbort,
+        AbortCause::wayConflict,
+    };
+    // Several adversarial orderings, including lock-held
+    // misattribution, must all hit the bound.
+    for (int variant = 0; variant < 5; ++variant) {
+        Fig1ThreeCounterPolicy policy(counts);
+        policy.beginSection();
+        int aborts = 0;
+        while (policy.onAbort(causes[(aborts + variant) % 5],
+                              (aborts + variant) % 3 == 0)) {
+            ++aborts;
+            ASSERT_LE(aborts, bound)
+                << "variant " << variant
+                << " still retrying past the drain bound";
+        }
+    }
+}
+
+TEST(HardenedRetryPolicy, WatchdogBoundsAttemptsWhateverTheBudgets)
+{
+    // The guaranteed-progress bound: even with effectively unlimited
+    // per-cause budgets, the watchdog forces the fallback after
+    // watchdogAttempts aborts of *any* mix.
+    HardenedRetryPolicy policy({100, 100, 100});
+    policy.beginSection();
+    for (int i = 0; i < HardenedRetryPolicy::watchdogAttempts - 1; ++i) {
+        EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false))
+            << "abort " << i;
+    }
+    EXPECT_FALSE(policy.onAbort(AbortCause::dataConflict, false));
+    // Permanently false from here on.
+    EXPECT_FALSE(policy.onAbort(AbortCause::dataConflict, false));
+}
+
+TEST(HardenedRetryPolicy, WatchdogRearmsPerSection)
+{
+    HardenedRetryPolicy policy({100, 100, 100});
+    for (int section = 0; section < 3; ++section) {
+        policy.beginSection();
+        int retries = 0;
+        while (policy.onAbort(AbortCause::dataConflict, false))
+            ++retries;
+        EXPECT_EQ(retries, HardenedRetryPolicy::watchdogAttempts - 1)
+            << "section " << section;
+        policy.onFallback();
+    }
+}
+
+TEST(HardenedRetryPolicy, StormScoreSuppressesTransientRetries)
+{
+    // Lemming-storm adaptation: repeated fallbacks push the storm
+    // score over the threshold, after which a new section's transient
+    // budget is clamped to a single attempt -- its first transient
+    // abort goes straight to the fallback (bounding the convoy a
+    // storm can build) while lock/persistent budgets stay intact.
+    HardenedRetryPolicy policy({4, 2, 8});
+    for (int section = 0; section < 3; ++section) {
+        policy.beginSection();
+        policy.onFallback();
+    }
+
+    policy.beginSection();
+    EXPECT_FALSE(policy.onAbort(AbortCause::dataConflict, false))
+        << "transient budget should be clamped under a storm";
+    EXPECT_TRUE(policy.onAbort(AbortCause::lockConflict, true))
+        << "the lock budget must survive the clamp";
+
+    // Commits decay the score back under the threshold and the full
+    // budget returns.
+    for (int commit = 0; commit < 8; ++commit)
+        policy.onCommit();
+    policy.beginSection();
+    EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false));
+    EXPECT_TRUE(policy.onAbort(AbortCause::dataConflict, false));
+}
+
+TEST(HardenedRetryPolicy, RequestsDeterministicBackoff)
+{
+    HardenedRetryPolicy hardened({4, 1, 8});
+    EXPECT_TRUE(hardened.deterministicBackoff());
+
+    Fig1ThreeCounterPolicy fig1({4, 1, 8});
+    BgqAdaptivePolicy bgq(10, true, BgqMode::shortRunning);
+    EXPECT_FALSE(fig1.deterministicBackoff());
+    EXPECT_FALSE(bgq.deterministicBackoff());
+}
+
+TEST(MakeRetryPolicy, HardenedKindOverridesEveryMachineDefault)
+{
+    // policyKind == hardened wins even on Blue Gene/Q, whose default
+    // is the adaptive system-software policy.
+    for (const MachineConfig& machine : MachineConfig::all()) {
+        RuntimeConfig config(machine);
+        config.policyKind = RetryPolicyKind::hardened;
+        config.retry = {100, 100, 100};
+        const std::unique_ptr<RetryPolicy> policy =
+            makeRetryPolicy(config);
+        EXPECT_TRUE(policy->deterministicBackoff()) << machine.name;
+        policy->beginSection();
+        int retries = 0;
+        while (policy->onAbort(AbortCause::dataConflict, false))
+            ++retries;
+        EXPECT_EQ(retries, HardenedRetryPolicy::watchdogAttempts - 1)
+            << machine.name;
+    }
+}
+
 TEST(MakeRetryPolicy, SelectsTheMachineMechanism)
 {
     RuntimeConfig bgq(MachineConfig::blueGeneQ());
