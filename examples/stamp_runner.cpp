@@ -64,8 +64,12 @@ usage()
                  "  backend:   htm|lock|ideal\n"
                  "  policy:    default|hardened\n"
                  "  options:   --prof FILE --perfetto FILE --no-batch "
-                 "--quiet\n",
-                 benches.c_str());
+                 "--quiet\n"
+                 "             --threads N  (override; may exceed the "
+                 "machine's SMT\n"
+                 "              capacity up to %u — extra threads "
+                 "timeshare cores)\n",
+                 benches.c_str(), htm::kMaxTxThreads);
 }
 
 } // namespace
@@ -79,6 +83,7 @@ main(int argc, char** argv)
     std::string perfetto_path;
     bool quiet = false;
     bool batch = true;
+    unsigned threads_override = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -97,6 +102,8 @@ main(int argc, char** argv)
             quiet = true;
         } else if (arg == "--no-batch") {
             batch = false;
+        } else if (arg == "--threads") {
+            threads_override = unsigned(std::atoi(value()));
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
@@ -112,7 +119,10 @@ main(int argc, char** argv)
     }
     const std::string& bench = positional[0];
     const std::string& machine_name = positional[1];
-    const unsigned threads = unsigned(std::atoi(positional[2].c_str()));
+    const unsigned threads =
+        threads_override != 0
+            ? threads_override
+            : unsigned(std::atoi(positional[2].c_str()));
     const std::string& backend_name = positional[3];
     const std::string& policy_name = positional[4];
 
@@ -165,9 +175,19 @@ main(int argc, char** argv)
 
     const MachineConfig& machine =
         MachineConfig::all()[unsigned(machine_index)];
-    if (threads == 0 || threads > machine.maxThreads()) {
-        std::fprintf(stderr, "%s supports 1..%u threads\n",
-                     machine.name.c_str(), machine.maxThreads());
+    // The positional count stays bounded by the preset's SMT capacity
+    // (the paper's configurations); --threads deliberately allows
+    // oversubscription — extra threads timeshare cores via
+    // smtTimeScale — up to the runtime's hard thread ceiling.
+    const unsigned thread_limit = threads_override != 0
+                                      ? htm::kMaxTxThreads
+                                      : machine.maxThreads();
+    if (threads == 0 || threads > thread_limit) {
+        std::fprintf(stderr,
+                     "%s supports 1..%u threads (%u with --threads "
+                     "oversubscription)\n",
+                     machine.name.c_str(), machine.maxThreads(),
+                     htm::kMaxTxThreads);
         usage();
         return 1;
     }

@@ -2,6 +2,8 @@
 
 #include "htm/context.hh"
 #include "htm/tx.hh"
+#include "server/kv_store.hh"
+#include "server/zipf.hh"
 #include "sim/random.hh"
 #include "stamp/kernels.hh"
 #include "tmds/tm_bitmap.hh"
@@ -484,6 +486,79 @@ class VacationWorkload final : public TableWorkload
     stamp::ReservationKernel kernel_;
 };
 
+/**
+ * The server's KV/OLTP transactions (server/kv_store.hh) under the
+ * oracle: Zipfian-skewed point ops, two-structure puts, multi-key
+ * transfers and range scans, all precomputed so apply() never draws
+ * from an interleaving-dependent stream. Sized small and hot so the
+ * quick sweeps hit real conflicts.
+ */
+class ServerWorkload final : public TableWorkload
+{
+  public:
+    ServerWorkload(std::uint64_t seed, unsigned threads,
+                   unsigned ops_per_thread)
+        : store_(numKeys, numAccounts, 1000)
+    {
+        const server::ZipfianGenerator keys(numKeys, 0.85);
+        const server::ZipfianGenerator accounts(numAccounts, 0.85);
+        buildOps(seed, threads, ops_per_thread,
+                 [&](sim::Rng& rng) {
+                     const std::uint64_t pick = rng.nextRange(100);
+                     if (pick < 30)
+                         return Op{0, keys.scrambledNext(rng), 0};
+                     if (pick < 55)
+                         return Op{1, keys.scrambledNext(rng),
+                                   rng.nextU64()};
+                     if (pick < 75)
+                         return Op{2, keys.scrambledNext(rng),
+                                   rng.nextRange(1024) + 1};
+                     if (pick < 90)
+                         return Op{3, accounts.scrambledNext(rng),
+                                   rng.nextRange(100) + 1};
+                     return Op{4, keys.scrambledNext(rng), 0};
+                 });
+    }
+
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        switch (o.kind) {
+          case 0:
+            return tagged(0x1, store_.get(tx, o.a));
+          case 1:
+            return tagged(0x2, store_.put(tx, o.a, o.b));
+          case 2:
+            return tagged(0x3, store_.rmw(tx, o.a, o.b));
+          case 3:
+            return tagged(0x4,
+                          store_.transfer(tx, o.a, transferSpan,
+                                          o.b));
+          default:
+            return tagged(0x5, store_.scan(tx, o.a, scanLen));
+        }
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        std::uint64_t h = foldHash(0x8a5eedULL, store_.fingerprint());
+        // Fold the host-checkable invariants in, so a conservation
+        // or table/index divergence fails even if both phases drift
+        // identically.
+        h = foldHash(h, store_.balancesConserved() ? 1 : 0);
+        return foldHash(h, store_.structuresAgree() ? 1 : 0);
+    }
+
+  private:
+    static constexpr std::uint64_t numKeys = 48;
+    static constexpr std::uint64_t numAccounts = 8;
+    static constexpr unsigned transferSpan = 2;
+    static constexpr unsigned scanLen = 6;
+    server::KvStore store_;
+};
+
 template <typename W>
 std::unique_ptr<CheckWorkload>
 makeWorkload(std::uint64_t seed, unsigned threads,
@@ -506,6 +581,7 @@ allWorkloads()
         {"bitmap", &makeWorkload<BitmapWorkload>},
         {"kmeans", &makeWorkload<KmeansWorkload>},
         {"vacation", &makeWorkload<VacationWorkload>},
+        {"server", &makeWorkload<ServerWorkload>},
     };
     return registry;
 }

@@ -18,6 +18,7 @@
 #ifndef HTMSIM_HTM_MACHINE_HH
 #define HTMSIM_HTM_MACHINE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -147,15 +148,28 @@ struct MachineConfig
     unsigned coreOf(unsigned tid) const { return tid % numCores; }
 
     /** Execution-rate multiplier for one of @p sharers threads on a
-     *  core: sharers divided by the interpolated aggregate yield. */
+     *  core: sharers divided by the interpolated aggregate yield.
+     *  Beyond full SMT occupancy (server-style oversubscription: more
+     *  simulated clients than hardware threads) the core's aggregate
+     *  throughput stays pinned at smtYield — extra threads timeshare
+     *  the pipeline, they don't add it resources — so each of N
+     *  sharers runs N/smtYield slower. */
     double
     smtTimeScale(unsigned sharers) const
     {
         if (sharers <= 1)
             return 1.0;
         const double span = smtWays > 1 ? double(smtWays - 1) : 1.0;
+        // Interpolated aggregate yield up to full SMT occupancy; past
+        // it (server-style oversubscription: more simulated clients
+        // than hardware threads) the pipeline is saturated, so the
+        // aggregate stays pinned at the full-occupancy value and each
+        // of N sharers simply timeshares it N ways. The cap reuses the
+        // interpolation's own expression so time scales at
+        // sharers == smtWays are bit-identical to the historical ones.
+        const unsigned occupied = std::min(sharers, smtWays);
         const double throughput =
-            1.0 + (smtYield - 1.0) * double(sharers - 1) / span;
+            1.0 + (smtYield - 1.0) * double(occupied - 1) / span;
         return double(sharers) / throughput;
     }
 

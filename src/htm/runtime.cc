@@ -40,7 +40,7 @@ Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
     : config_(std::move(config))
 {
     const MachineConfig& machine = config_.machine;
-    assert(num_threads >= 1 && num_threads <= 64);
+    assert(num_threads >= 1 && num_threads <= kMaxTxThreads);
     const bool bgq = machine.vendor == Vendor::blueGeneQ;
     const bool ideal = config_.backend == BackendKind::idealHtm;
 
@@ -202,14 +202,12 @@ Runtime::nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write,
                          line_number, now);
     }
     if (is_write) {
-        std::uint64_t readers = line->readers &
-                                ~(std::uint64_t(1) << tid);
-        while (readers != 0) {
-            const unsigned reader = unsigned(__builtin_ctzll(readers));
-            readers &= readers - 1;
+        // Walk a copy: dooming a reader clears its directory marks.
+        const ReaderSet readers = line->readers;
+        readers.forEachExcept(tid, [&](unsigned reader) {
             if (doomTx(reader, AbortCause::dataConflict))
                 emitConflict(tid, reader, true, line_number, now);
-        }
+        });
     }
 }
 

@@ -44,6 +44,68 @@ namespace htmsim::htm
 {
 
 /**
+ * Ceiling on simulated threads per Runtime. Sized for the server
+ * scenario's 256 clients; the conflict directory's reader sets are
+ * fixed-width multiword bitmasks of exactly this many bits, so raising
+ * it costs directory memory and a word per reader-walk, nothing else.
+ */
+inline constexpr unsigned kMaxTxThreads = 256;
+
+/**
+ * Fixed-width set of reader thread ids. A drop-in widening of the old
+ * single-uint64 mask: the hot paths still set/clear one bit with two
+ * shifts, and walks visit only non-zero words with ctz scans.
+ */
+struct ReaderSet
+{
+    static constexpr unsigned kWords = kMaxTxThreads / 64;
+
+    std::uint64_t words[kWords] = {};
+
+    void
+    set(unsigned tid)
+    {
+        words[tid >> 6] |= std::uint64_t(1) << (tid & 63);
+    }
+
+    void
+    clear(unsigned tid)
+    {
+        words[tid >> 6] &= ~(std::uint64_t(1) << (tid & 63));
+    }
+
+    bool
+    any() const
+    {
+        std::uint64_t all = 0;
+        for (const std::uint64_t word : words)
+            all |= word;
+        return all != 0;
+    }
+
+    /**
+     * Invoke @p fn(tid) for every member except @p self. Callers that
+     * mutate the underlying line during the walk (dooming a reader
+     * clears its marks) must iterate a by-value copy, exactly as the
+     * old code copied the uint64 mask.
+     */
+    template <typename Fn>
+    void
+    forEachExcept(unsigned self, Fn&& fn) const
+    {
+        for (unsigned w = 0; w < kWords; ++w) {
+            std::uint64_t bits = words[w];
+            if (w == (self >> 6))
+                bits &= ~(std::uint64_t(1) << (self & 63));
+            while (bits != 0) {
+                fn(w * 64 + unsigned(__builtin_ctzll(bits)));
+                bits &= bits - 1;
+            }
+        }
+    }
+};
+
+/**
  * Tracking state of one conflict-granularity line: the
  * cache-coherence-based access marks all four machines keep (writer id
  * plus a reader set, Section 2). The directory lives directly in the
@@ -56,13 +118,13 @@ struct ConflictLineState
 {
     /** Writing transaction's thread id, or -1. */
     int writer = -1;
-    /** Bitmask of reader thread ids (max 64 simulated threads). */
-    std::uint64_t readers = 0;
+    /** Reader thread ids (up to kMaxTxThreads). */
+    ReaderSet readers;
 
     bool
     empty() const
     {
-        return writer < 0 && readers == 0;
+        return writer < 0 && !readers.any();
     }
 };
 
@@ -225,7 +287,17 @@ class Runtime
     {
         bindSite(ctx.id(), site);
         FunctionRef<void(Tx&)> ref(body);
+        // Section latency: begin-of-first-attempt (including any
+        // lemming wait inside the backend) to commit, in virtual
+        // cycles. Observation only — nothing here advances the clock.
+        const Cycles start = ctx.now();
         backend_->runAtomic(*this, ctx, ref);
+        TxStats& stats = stats_[ctx.id()];
+        const std::uint64_t latency = ctx.now() - start;
+        ++stats.sections;
+        stats.sectionCyclesTotal += latency;
+        stats.sectionCyclesMax = std::max(stats.sectionCyclesMax,
+                                          latency);
     }
 
     /**
@@ -567,7 +639,7 @@ class Runtime
     {
         ConflictLineState* line = directory_.find(line_number);
         if (line != nullptr)
-            line->readers &= ~(std::uint64_t(1) << tid);
+            line->readers.clear(tid);
     }
 
     /** Drop a thread's writer mark (if it still owns the line). */

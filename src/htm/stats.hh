@@ -12,6 +12,7 @@
 #ifndef HTMSIM_HTM_STATS_HH
 #define HTMSIM_HTM_STATS_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -79,6 +80,16 @@ struct TxStats
     std::uint64_t hazardPreemptStalls = 0;
     /** Cycles spent preempted while holding the fallback lock. */
     std::uint64_t hazardStallCycles = 0;
+
+    // --- Per-section latency (server tail-latency reporting) --------
+    /** Completed atomic sections observed at the atomic() boundary. */
+    std::uint64_t sections = 0;
+    /** Virtual cycles from begin-of-first-attempt (atomic() entry,
+     *  including any lemming wait) to commit, summed over sections.
+     *  Pure observation: recording it never advances the clock. */
+    std::uint64_t sectionCyclesTotal = 0;
+    /** Worst single-section latency in virtual cycles. */
+    std::uint64_t sectionCyclesMax = 0;
 
     std::uint64_t
     totalAborts() const
@@ -176,6 +187,10 @@ struct TxStats
         hazardCapacityAborts += other.hazardCapacityAborts;
         hazardPreemptStalls += other.hazardPreemptStalls;
         hazardStallCycles += other.hazardStallCycles;
+        sections += other.sections;
+        sectionCyclesTotal += other.sectionCyclesTotal;
+        sectionCyclesMax = std::max(sectionCyclesMax,
+                                    other.sectionCyclesMax);
         return *this;
     }
 };

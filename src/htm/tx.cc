@@ -249,16 +249,13 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
         // CheckFault::missReaderConflict). Off in all experiments.
         if (runtime_->config_.checkFault !=
             CheckFault::missReaderConflict) {
-            std::uint64_t readers = line.readers &
-                                    ~(std::uint64_t(1) << tid_);
-            while (readers != 0) {
-                const unsigned reader =
-                    unsigned(__builtin_ctzll(readers));
-                readers &= readers - 1;
+            // Walk a copy: dooming a reader clears its directory marks.
+            const ReaderSet readers = line.readers;
+            readers.forEachExcept(tid_, [&](unsigned reader) {
                 runtime_->resolveConflict(*this, reader,
                                           AbortCause::dataConflict,
                                           line_number);
-            }
+            });
         }
         line.writer = int(tid_);
         flags |= lineWritten;
@@ -271,7 +268,7 @@ Tx::touchConflictLine(std::uintptr_t addr, bool is_write)
                                       AbortCause::dataConflict,
                                       line_number);
         }
-        line.readers |= std::uint64_t(1) << tid_;
+        line.readers.set(tid_);
         flags |= lineRead;
     }
 }
@@ -299,7 +296,7 @@ Tx::maybePrefetch(std::uintptr_t addr)
     ConflictLineState& line = runtime_->directoryLine(neighbour);
     if (line.writer >= 0 && line.writer != int(tid_))
         return; // owned elsewhere: the prefetch is dropped
-    line.readers |= std::uint64_t(1) << tid_;
+    line.readers.set(tid_);
     bool inserted = false;
     std::uint8_t& flags =
         conflictLines_.insertOrFind(neighbour, &inserted);

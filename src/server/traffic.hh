@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Open-loop traffic generation for the server benchmark.
+ *
+ * Each simulated client owns a TrafficGen seeded from (seed, client
+ * id). Every draw — operation kind, keys, interarrival jitter — comes
+ * from that dedicated stream, NEVER from the thread context's rng():
+ * the HTM runtime consumes the context stream for backoff and hazard
+ * draws, so its position is interleaving-dependent, and a traffic
+ * generator fed from it would emit different requests under different
+ * schedules. With dedicated streams the offered load is a pure
+ * function of (seed, client, request index) no matter how the run
+ * interleaves — the property the determinism tests pin.
+ *
+ * Arrivals are open-loop: request i's arrival time is the sum of i
+ * interarrival gaps, independent of service times. A client whose
+ * previous request ran long starts the next one late but does not
+ * reschedule it — queueing delay shows up in latency, as in a real
+ * load generator.
+ */
+
+#ifndef HTMSIM_SERVER_TRAFFIC_HH
+#define HTMSIM_SERVER_TRAFFIC_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "zipf.hh"
+
+namespace htmsim::server
+{
+
+/** Operation kinds of the KV/OLTP mix. */
+enum class OpKind : std::uint8_t
+{
+    get,
+    put,
+    rmw,
+    transfer,
+    scan,
+};
+
+inline constexpr unsigned numOpKinds = 5;
+
+inline const char*
+opKindName(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::get: return "get";
+    case OpKind::put: return "put";
+    case OpKind::rmw: return "rmw";
+    case OpKind::transfer: return "transfer";
+    case OpKind::scan: return "scan";
+    }
+    return "?";
+}
+
+/** One generated request. */
+struct Request
+{
+    OpKind kind = OpKind::get;
+    /** Primary key (get/put/rmw/scan) or first account (transfer). */
+    std::uint64_t key = 0;
+    /** Payload value (put), delta (rmw), or amount (transfer). */
+    std::uint64_t value = 0;
+    /** Virtual-time arrival (absolute cycles). */
+    std::uint64_t arrival = 0;
+};
+
+/** Workload shape: mix, skew, sizes, offered load. */
+struct TrafficConfig
+{
+    /** Key-space and account-array sizes. */
+    std::uint64_t numKeys = 4096;
+    std::uint64_t numAccounts = 256;
+    std::uint64_t initialBalance = 1000;
+
+    /** Zipfian skew over keys and accounts (0 <= theta < 1). */
+    double zipfTheta = 0.8;
+
+    /** Relative op-mix weights (any non-negative integers, not all
+     *  zero). The default is a read-mostly OLTP mix. */
+    unsigned getWeight = 50;
+    unsigned putWeight = 20;
+    unsigned rmwWeight = 15;
+    unsigned transferWeight = 10;
+    unsigned scanWeight = 5;
+
+    /** Accounts touched by one transfer (>= 1). */
+    unsigned transferSpan = 2;
+    /** Elements visited by one range scan (>= 1). */
+    unsigned scanLen = 8;
+
+    /** Requests issued per client. */
+    unsigned opsPerClient = 64;
+
+    /** Mean interarrival gap per client in cycles; the actual gap is
+     *  uniform in [mean/2, 3*mean/2), so the offered rate is mean's
+     *  reciprocal without synchronized arrival spikes. */
+    std::uint64_t meanInterarrivalCycles = 4000;
+
+    unsigned
+    totalWeight() const
+    {
+        return getWeight + putWeight + rmwWeight + transferWeight +
+               scanWeight;
+    }
+};
+
+/** Per-client deterministic request stream. */
+class TrafficGen
+{
+  public:
+    TrafficGen(const TrafficConfig& config,
+               const ZipfianGenerator& keys,
+               const ZipfianGenerator& accounts, std::uint64_t seed,
+               unsigned client)
+        : config_(&config), keys_(&keys), accounts_(&accounts),
+          // Stream ids offset past the scheduler's per-thread streams
+          // so a client's traffic never correlates with its context
+          // rng even under the same master seed.
+          rng_(seed ^ 0x7261666669633164ULL, 0x10000 + client)
+    {
+        assert(config.totalWeight() > 0);
+    }
+
+    /** Generate the next request (advances arrival time). */
+    Request
+    next()
+    {
+        Request request;
+        request.kind = drawKind();
+        switch (request.kind) {
+        case OpKind::get:
+            request.key = keys_->scrambledNext(rng_);
+            break;
+        case OpKind::put:
+            request.key = keys_->scrambledNext(rng_);
+            request.value = rng_.nextU64();
+            break;
+        case OpKind::rmw:
+            request.key = keys_->scrambledNext(rng_);
+            request.value = rng_.nextRange(1024) + 1;
+            break;
+        case OpKind::transfer:
+            request.key = accounts_->scrambledNext(rng_);
+            request.value = rng_.nextRange(100) + 1;
+            break;
+        case OpKind::scan:
+            request.key = keys_->scrambledNext(rng_);
+            break;
+        }
+        const std::uint64_t mean = config_->meanInterarrivalCycles;
+        const std::uint64_t gap =
+            mean / 2 + rng_.nextRange(mean > 1 ? mean : 1);
+        nextArrival_ += gap;
+        request.arrival = nextArrival_;
+        return request;
+    }
+
+  private:
+    OpKind
+    drawKind()
+    {
+        std::uint64_t draw = rng_.nextRange(config_->totalWeight());
+        if (draw < config_->getWeight)
+            return OpKind::get;
+        draw -= config_->getWeight;
+        if (draw < config_->putWeight)
+            return OpKind::put;
+        draw -= config_->putWeight;
+        if (draw < config_->rmwWeight)
+            return OpKind::rmw;
+        draw -= config_->rmwWeight;
+        if (draw < config_->transferWeight)
+            return OpKind::transfer;
+        return OpKind::scan;
+    }
+
+    const TrafficConfig* config_;
+    const ZipfianGenerator* keys_;
+    const ZipfianGenerator* accounts_;
+    sim::Rng rng_;
+    std::uint64_t nextArrival_ = 0;
+};
+
+} // namespace htmsim::server
+
+#endif // HTMSIM_SERVER_TRAFFIC_HH

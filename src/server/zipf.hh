@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic Zipfian key-rank generator (YCSB-style).
+ *
+ * Implements the Gray et al. "Quickly generating billion-record
+ * synthetic databases" closed form that YCSB popularized: the zeta
+ * normalization constant is precomputed once at construction (host
+ * time, untimed), so drawing a rank costs two pow() calls and no
+ * memory. All randomness flows through sim::Rng, never std::
+ * distributions, so a (seed, stream) pair always yields the same key
+ * sequence — the server traffic generator's determinism leans on this.
+ *
+ * Rank 0 is the hottest item. scrambledNext() additionally spreads the
+ * hot ranks across the key space with an FNV-1a mix (YCSB's
+ * ScrambledZipfianGenerator) so that popularity is decoupled from key
+ * adjacency — without it, the hot set would also be one rb-tree
+ * neighborhood and every scan would cross it.
+ */
+
+#ifndef HTMSIM_SERVER_ZIPF_HH
+#define HTMSIM_SERVER_ZIPF_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/random.hh"
+
+namespace htmsim::server
+{
+
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param items key-space size (> 0)
+     * @param theta skew in [0, 1): 0 = uniform-ish, 0.99 = the classic
+     *        YCSB hot-spot distribution.
+     */
+    ZipfianGenerator(std::uint64_t items, double theta)
+        : items_(items), theta_(theta)
+    {
+        assert(items > 0);
+        assert(theta >= 0.0 && theta < 1.0);
+        zetan_ = zeta(items, theta);
+        const double zeta2 = zeta(2, theta);
+        alpha_ = 1.0 / (1.0 - theta);
+        eta_ = (1.0 - std::pow(2.0 / double(items), 1.0 - theta)) /
+               (1.0 - zeta2 / zetan_);
+    }
+
+    /** Next rank in [0, items): 0 is most popular. */
+    std::uint64_t
+    next(sim::Rng& rng) const
+    {
+        const double u = rng.nextDouble();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        const std::uint64_t rank = std::uint64_t(
+            double(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= items_ ? items_ - 1 : rank;
+    }
+
+    /** Next rank, scattered over the key space (hot != adjacent). */
+    std::uint64_t
+    scrambledNext(sim::Rng& rng) const
+    {
+        return scramble(next(rng)) % items_;
+    }
+
+    std::uint64_t items() const { return items_; }
+    double theta() const { return theta_; }
+
+    /** FNV-1a 64-bit avalanche of a rank (public for tests). */
+    static std::uint64_t
+    scramble(std::uint64_t value)
+    {
+        std::uint64_t hash = 0xcbf29ce484222325ULL;
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (byte * 8)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+        return hash;
+    }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            sum += 1.0 / std::pow(double(i), theta);
+        return sum;
+    }
+
+    std::uint64_t items_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace htmsim::server
+
+#endif // HTMSIM_SERVER_ZIPF_HH

@@ -156,14 +156,30 @@ namespace htmsim::sim
 {
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)), stack_(stack_bytes)
+    : body_(std::move(body))
 {
+    StackPool& pool = StackPool::instance();
+    ownSlot_ = pool.reserveRange(1);
+    attachStack(pool.commit(ownSlot_, stack_bytes));
+}
+
+Fiber::Fiber(DeferStack, std::function<void()> body)
+    : body_(std::move(body))
+{
+}
+
+void
+Fiber::attachStack(StackSpan span)
+{
+    assert(stack_.base == nullptr && "attachStack() called twice");
+    assert(!started_ && "attachStack() after the fiber already ran");
+    stack_ = span;
 #if HTMSIM_FAST_FIBERS
     initFastStack();
 #else
     getcontext(&context_);
-    context_.uc_stack.ss_sp = stack_.data();
-    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_stack.ss_sp = stack_.base;
+    context_.uc_stack.ss_size = stack_.size;
     context_.uc_link = &owner_context;
     auto self = reinterpret_cast<std::uintptr_t>(this);
     makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
@@ -180,7 +196,7 @@ Fiber::initFastStack()
     // host addresses under both backends, because the simulated
     // machine models hash host addresses (line numbers, cache sets).
     const auto top =
-        reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
+        reinterpret_cast<std::uintptr_t>(stack_.base + stack_.size);
     const std::uintptr_t run_entry =
         ((top - 8) & ~std::uintptr_t(15)) - 8;
     const std::uintptr_t thunk_entry = run_entry + 8;
@@ -210,6 +226,8 @@ Fiber::~Fiber()
     // Destroying an unfinished fiber abandons its stack without unwinding.
     // The scheduler only destroys fibers after run() completes, so this is
     // reached only when a simulation is torn down after an error.
+    if (ownSlot_ != kNoSlot)
+        StackPool::instance().releaseRange(ownSlot_, 1);
 }
 
 void
@@ -244,14 +262,15 @@ Fiber::resume()
 {
     assert(!finished_ && "resume() on a finished fiber");
     assert(current_fiber == nullptr && "resume() from inside a fiber");
+    assert(hasStack() && "resume() before attachStack()");
     started_ = true;
     current_fiber = this;
 #if HTMSIM_FAST_FIBERS
 #if HTMSIM_ASAN_FIBERS
     captureOwnerStack();
     void* owner_fake_stack = nullptr;
-    __sanitizer_start_switch_fiber(&owner_fake_stack, stack_.data(),
-                                   stack_.size());
+    __sanitizer_start_switch_fiber(&owner_fake_stack, stack_.base,
+                                   stack_.size);
 #endif
     htmsim_context_switch(&owner_sp, fastSp());
 #if HTMSIM_ASAN_FIBERS
@@ -299,14 +318,15 @@ Fiber::switchTo(Fiber& next)
     assert(self && "switchTo() outside any fiber");
     assert(self != &next && "switchTo() the current fiber");
     assert(!next.finished_ && "switchTo() a finished fiber");
+    assert(next.hasStack() && "switchTo() before attachStack()");
     next.started_ = true;
     current_fiber = &next;
 #if HTMSIM_FAST_FIBERS
 #if HTMSIM_ASAN_FIBERS
     void* fiber_fake_stack = nullptr;
     __sanitizer_start_switch_fiber(&fiber_fake_stack,
-                                   next.stack_.data(),
-                                   next.stack_.size());
+                                   next.stack_.base,
+                                   next.stack_.size);
 #endif
     htmsim_context_switch(&self->fastSp(), next.fastSp());
 #if HTMSIM_ASAN_FIBERS

@@ -30,7 +30,8 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <vector>
+
+#include "stack_pool.hh"
 
 #if defined(__x86_64__) && defined(__linux__) && \
     !defined(HTMSIM_UCONTEXT_FIBERS)
@@ -64,13 +65,40 @@ namespace htmsim::sim
 class Fiber
 {
   public:
-    /** Create a fiber that will run @p body when first resumed. */
+    /** Tag selecting the deferred-stack constructor. */
+    struct DeferStack
+    {
+    };
+
+    /**
+     * Create a standalone fiber: a stack slot is reserved and
+     * committed from the StackPool immediately and released on
+     * destruction.
+     */
     explicit Fiber(std::function<void()> body,
                    std::size_t stack_bytes = defaultStackBytes);
+
+    /**
+     * Create a fiber with no stack. The owner (the scheduler) attaches
+     * one via attachStack() before the first resume()/switchTo() —
+     * lazily, at first dispatch, on the pooled path.
+     */
+    Fiber(DeferStack, std::function<void()> body);
 
     Fiber(const Fiber&) = delete;
     Fiber& operator=(const Fiber&) = delete;
     ~Fiber();
+
+    /**
+     * Attach the stack this fiber will run on. Must happen exactly
+     * once, before the fiber first gains control. The span stays owned
+     * by the caller (the scheduler decommits it when the fiber
+     * finishes).
+     */
+    void attachStack(StackSpan span);
+
+    /** True once a stack is attached and the entry frame is built. */
+    bool hasStack() const { return stack_.base != nullptr; }
 
     /**
      * Transfer control into the fiber until it (or a sibling it
@@ -108,8 +136,12 @@ class Fiber
      */
     static void switchTo(Fiber& next);
 
-    /** Default stack size; STAMP's yada recursion fits comfortably. */
-    static constexpr std::size_t defaultStackBytes = 1024 * 1024;
+    /** Default stack size. Much smaller than the historical 1 MB —
+     *  hundreds of pooled fibers must fit a modest resident budget —
+     *  and safe because an overflow now lands on the slot's PROT_NONE
+     *  guard instead of corrupting a neighbouring stack. STAMP's yada
+     *  recursion still fits comfortably. */
+    static constexpr std::size_t defaultStackBytes = 256 * 1024;
 
   private:
 #if HTMSIM_FAST_FIBERS
@@ -133,15 +165,18 @@ class Fiber
     void run();
 
     std::function<void()> body_;
-    std::vector<char> stack_;
+    /// The stack this fiber runs on — pool-owned memory, never the
+    /// malloc heap, so fiber lifetime cannot perturb the heap layout
+    /// the simulated models hash. Empty until attachStack().
+    StackSpan stack_{};
     ucontext_t context_;
-    /// Unused since the owner continuation became a shared
-    /// per-host-thread slot; retained so sizeof(Fiber) — and with it
-    /// the host heap layout the simulated models hash — is unchanged.
-    ucontext_t ownerContext_;
     std::exception_ptr pendingException_;
+    /// Standalone fibers own a 1-slot pool range; kNoSlot otherwise.
+    unsigned ownSlot_ = kNoSlot;
     bool finished_ = false;
     bool started_ = false;
+
+    static constexpr unsigned kNoSlot = ~0u;
 };
 
 } // namespace htmsim::sim

@@ -33,19 +33,17 @@ ThreadContext::syncSlow()
         return;
     }
     // One scan resolves the whole scheduling point: the earliest other
-    // runnable thread is the yield target (this thread's own slot is
-    // parked at `never` while it runs) and the runner-up time is the
-    // target's dispatch lease.
+    // runnable thread is the yield target (this thread is not on the
+    // runnable list while it runs) and the runner-up time is the
+    // target's dispatch lease. The scan walks the dense runnable list,
+    // so its cost is O(runnable) however many threads exist.
     const Scheduler::SlotRec* slots = s.slots_.data();
-    const unsigned count = unsigned(s.slots_.size());
     unsigned best = Scheduler::kNone;
     Cycles best_time = Scheduler::never;
     std::uint64_t best_order = 0;
     Cycles second = Scheduler::never;
-    for (unsigned tid = 0; tid < count; ++tid) {
+    for (const unsigned tid : s.runnable_) {
         const Scheduler::SlotRec& slot = slots[tid];
-        if (slot.time == Scheduler::never)
-            continue;
         if (best == Scheduler::kNone || slot.time < best_time ||
             (slot.time == best_time && slot.order < best_order)) {
             if (best != Scheduler::kNone)
@@ -80,17 +78,15 @@ ThreadContext::syncSlow()
     // distinguish blocked (wake()) and finished (run()/deadlock), both
     // maintained on their own paths, and the target's clock equals its
     // parked slot time, so the lease cap needs no pointer chase.
-    Scheduler::SlotRec& self = s.slots_[id_];
-    self.time = now_;
-    self.order = s.orderCounter_++;
-    Scheduler::SlotRec& tslot = s.slots_[best];
-    tslot.time = Scheduler::never; // leave the run queue while running
+    s.enqueue(id_, now_);
+    s.dequeue(best); // leave the run queue while running
     s.runningTid_ = best;
-    tslot.leaseEnd =
+    s.slots_[best].leaseEnd =
         s.batching_
             ? leaseBound(std::min(std::min(second, now_),
                                   best_time + s.epochCycles_))
             : 0;
+    s.ensureStack(best);
     Fiber::switchTo(*s.threads_[best]->fiber);
 }
 
@@ -123,12 +119,22 @@ ThreadContext::block()
 
 Scheduler::Scheduler(std::uint64_t seed) : seed_(seed) {}
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler()
+{
+    // Fibers first (their stacks must not outlive the slots), then the
+    // whole slot range back to the pool — including slots still
+    // committed when a run ended early (deadlock) or eagerly.
+    threads_.clear();
+    if (rangeBase_ != kNone)
+        StackPool::instance().releaseRange(rangeBase_,
+                                           unsigned(slots_.size()));
+}
 
 unsigned
 Scheduler::spawn(std::function<void(ThreadContext&)> body)
 {
     assert(!running_ && "spawn() during run() is not supported");
+    assert(rangeBase_ == kNone && "spawn() after run() started");
     const unsigned tid = unsigned(threads_.size());
     auto thread = std::make_unique<Thread>();
     thread->context.scheduler_ = this;
@@ -136,15 +142,45 @@ Scheduler::spawn(std::function<void(ThreadContext&)> body)
     thread->context.rng_ = Rng(seed_, tid);
     ThreadContext* context = &thread->context;
     auto wrapped = [body = std::move(body), context] { body(*context); };
-    thread->fiber = std::make_unique<Fiber>(std::move(wrapped));
+    // Deferred stack: the Fiber object exists from spawn (the heap
+    // allocation sequence is identical under every stack policy), but
+    // the stack slot is committed per the policy — up front or at
+    // first dispatch.
+    thread->fiber =
+        std::make_unique<Fiber>(Fiber::DeferStack{}, std::move(wrapped));
     threads_.push_back(std::move(thread));
-    slots_.push_back(SlotRec{0, orderCounter_++, 0});
+    slots_.push_back(SlotRec{never, 0, 0, kNone});
+    enqueue(tid, 0);
     return tid;
+}
+
+void
+Scheduler::provisionStacks()
+{
+    if (rangeBase_ != kNone || threads_.empty())
+        return;
+    rangeBase_ =
+        StackPool::instance().reserveRange(unsigned(threads_.size()));
+    if (stackPolicy_ == StackPolicy::eager) {
+        for (unsigned tid = 0; tid < unsigned(threads_.size()); ++tid)
+            ensureStack(tid);
+    }
+}
+
+void
+Scheduler::ensureStack(unsigned tid)
+{
+    Fiber& fiber = *threads_[tid]->fiber;
+    if (fiber.hasStack()) [[likely]]
+        return;
+    fiber.attachStack(
+        StackPool::instance().commit(rangeBase_ + tid, stackBytes_));
 }
 
 void
 Scheduler::run()
 {
+    provisionStacks();
     running_ = true;
     for (;;) {
         Cycles min_other;
@@ -161,6 +197,10 @@ Scheduler::run()
             last.fiber->rethrowPending();
             last.state = State::finished;
             last.finishTime = last.context.now();
+            // Pooled stacks go back to the kernel as soon as their
+            // fiber is done — peak residency tracks *live* fibers.
+            if (stackPolicy_ == StackPolicy::pooled)
+                StackPool::instance().decommit(rangeBase_ + runningTid_);
         }
     }
     running_ = false;
@@ -181,13 +221,12 @@ Scheduler::wake(unsigned tid, Cycles at_least)
         return;
     thread.context.now_ = std::max(thread.context.now_, at_least);
     thread.state = State::runnable;
-    SlotRec& slot = slots_[tid];
-    slot.time = thread.context.now_;
-    slot.order = orderCounter_++;
+    enqueue(tid, thread.context.now_);
     // The waker's lease no longer covers the woken thread's clock.
     if (running_) {
         SlotRec& self = slots_[runningTid_];
-        self.leaseEnd = std::min(self.leaseEnd, leaseBound(slot.time));
+        self.leaseEnd =
+            std::min(self.leaseEnd, leaseBound(slots_[tid].time));
     }
 }
 
@@ -234,10 +273,8 @@ Scheduler::pickNext(Cycles* min_other) const
     Cycles best_time = 0;
     std::uint64_t best_order = 0;
     Cycles second = never;
-    for (unsigned tid = 0; tid < unsigned(slots_.size()); ++tid) {
+    for (const unsigned tid : runnable_) {
         const SlotRec& slot = slots_[tid];
-        if (slot.time == never)
-            continue;
         if (best == kNone || slot.time < best_time ||
             (slot.time == best_time && slot.order < best_order)) {
             if (best != kNone)
@@ -258,9 +295,34 @@ Scheduler::dispatch(unsigned tid, Cycles min_other)
 {
     Thread& thread = *threads_[tid];
     thread.state = State::running;
-    slots_[tid].time = never; // leave the run queue while running
+    dequeue(tid); // leave the run queue while running
     runningTid_ = tid;
     renewLease(tid, min_other);
+    ensureStack(tid);
+}
+
+void
+Scheduler::enqueue(unsigned tid, Cycles time)
+{
+    SlotRec& slot = slots_[tid];
+    assert(slot.pos == kNone && "enqueue() of an already-queued thread");
+    slot.time = time;
+    slot.order = orderCounter_++;
+    slot.pos = unsigned(runnable_.size());
+    runnable_.push_back(tid);
+}
+
+void
+Scheduler::dequeue(unsigned tid)
+{
+    SlotRec& slot = slots_[tid];
+    assert(slot.pos != kNone && "dequeue() of an unqueued thread");
+    const unsigned moved = runnable_.back();
+    runnable_[slot.pos] = moved;
+    slots_[moved].pos = slot.pos;
+    runnable_.pop_back();
+    slot.time = never;
+    slot.pos = kNone;
 }
 
 void
@@ -279,9 +341,7 @@ void
 Scheduler::yieldFrom(unsigned tid)
 {
     Thread& self = *threads_[tid];
-    SlotRec& slot = slots_[tid];
-    slot.time = self.context.now_;
-    slot.order = orderCounter_++;
+    enqueue(tid, self.context.now_);
     self.state = State::runnable;
     Cycles min_other;
     const unsigned next = pickNext(&min_other);
@@ -296,7 +356,7 @@ Cycles
 Scheduler::minRunnableTime(unsigned excluding) const
 {
     Cycles min = never;
-    for (unsigned tid = 0; tid < unsigned(slots_.size()); ++tid) {
+    for (const unsigned tid : runnable_) {
         if (tid != excluding)
             min = std::min(min, slots_[tid].time);
     }

@@ -22,6 +22,8 @@
 #ifndef HTMSIM_SIM_SCHEDULER_HH
 #define HTMSIM_SIM_SCHEDULER_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -181,6 +183,23 @@ class ThreadContext
 };
 
 /**
+ * How a scheduler provisions its fibers' stacks (all from the
+ * process-wide StackPool; the mode only decides *when* a slot is
+ * committed, never *where* a stack lives, so the two modes are
+ * bit-identical by construction — proven by a forked A/B test).
+ */
+enum class StackPolicy
+{
+    /** Commit a fiber's stack at first dispatch and decommit it when
+     *  the fiber finishes: resident memory tracks live fibers. The
+     *  default. */
+    pooled,
+    /** Commit every fiber's stack up front at run() and keep them
+     *  until the scheduler dies (the historical behaviour). */
+    eager,
+};
+
+/**
  * Owns the simulated threads and runs them to completion in
  * earliest-virtual-time-first order.
  */
@@ -250,6 +269,39 @@ class Scheduler
     /** Default per-dispatch lease bound (virtual cycles). */
     static constexpr Cycles defaultEpochCycles = Cycles(1) << 20;
 
+    /** Select this scheduler's stack provisioning mode (before run()). */
+    void
+    setStackPolicy(StackPolicy policy)
+    {
+        stackPolicy_ = policy;
+    }
+
+    StackPolicy stackPolicy() const { return stackPolicy_; }
+
+    /** Per-fiber stack size (before run()); capped by the pool's slot
+     *  capacity. Raise it for workloads with deep recursion. */
+    void
+    setStackBytes(std::size_t bytes)
+    {
+        stackBytes_ = std::min(bytes, StackPool::maxStackBytes);
+    }
+
+    /**
+     * Process-wide default stack policy new schedulers start from.
+     * Exists so A/B tests (and tools) can flip schedulers constructed
+     * deep inside harness code; analogous to the --no-batch switch.
+     */
+    static void
+    setDefaultStackPolicy(StackPolicy policy)
+    {
+        defaultStackPolicy_ = policy;
+    }
+
+    static StackPolicy defaultStackPolicy()
+    {
+        return defaultStackPolicy_;
+    }
+
     /**
      * True if any thread other than @p tid could still run or wake up.
      * Used by spin loops to detect true deadlock early.
@@ -280,10 +332,15 @@ class Scheduler
      * the run-queue key while the thread is runnable — order is a
      * global enqueue stamp, so ties resolve in enqueue (FIFO) order
      * exactly as the former binary-heap queue did. A slot whose time
-     * is `never` is not runnable (running, blocked, or finished), so
-     * the scheduling scans walk only this contiguous array and never
-     * chase the Thread pointers. leaseEnd is the sync() fast-path
-     * bound of the running thread: scheduling points with
+     * is `never` is not runnable (running, blocked, or finished).
+     * Runnable tids additionally sit in the dense runnable_ list (pos
+     * is their index there), which is what the scheduling scans walk —
+     * their cost is O(runnable), not O(max-tid), so hundreds of
+     * mostly-blocked or finished fibers don't tax every scheduling
+     * point. Scan order over the list is arbitrary, but the (time,
+     * order) key is unique per thread, so the pick is order-independent
+     * and bit-identical to the full-array scan. leaseEnd is the sync()
+     * fast-path bound of the running thread: scheduling points with
      * now < leaseEnd are provably no-ops.
      */
     struct SlotRec
@@ -291,6 +348,7 @@ class Scheduler
         Cycles time;
         std::uint64_t order;
         Cycles leaseEnd;
+        unsigned pos;
     };
 
     /**
@@ -313,15 +371,35 @@ class Scheduler
     /** Smallest slot time over runnable threads other than @p tid. */
     Cycles minRunnableTime(unsigned excluding) const;
 
+    /** Put @p tid on the run queue at @p time (fresh order stamp). */
+    void enqueue(unsigned tid, Cycles time);
+
+    /** Take @p tid off the run queue (running/blocked/finished). */
+    void dequeue(unsigned tid);
+
+    /** Reserve this run's contiguous pool slot range; under the eager
+     *  policy also commit and attach every fiber's stack now. */
+    void provisionStacks();
+
+    /** Commit slot rangeBase_ + tid and attach it — the pooled path's
+     *  lazy fiber activation, called at first dispatch. */
+    void ensureStack(unsigned tid);
+
     std::uint64_t seed_;
     SchedulePerturber* perturber_ = nullptr;
     std::uint64_t orderCounter_ = 0;
     bool batching_ = true;
     Cycles epochCycles_ = defaultEpochCycles;
+    StackPolicy stackPolicy_ = defaultStackPolicy_;
+    std::size_t stackBytes_ = Fiber::defaultStackBytes;
+    unsigned rangeBase_ = kNone;
     std::vector<std::unique_ptr<Thread>> threads_;
     std::vector<SlotRec> slots_;
+    std::vector<unsigned> runnable_;
     unsigned runningTid_ = 0;
     bool running_ = false;
+
+    static inline StackPolicy defaultStackPolicy_ = StackPolicy::pooled;
 };
 
 inline void

@@ -172,6 +172,37 @@ class TmRbTree
     }
 
     /**
+     * Bounded ascending range scan: visit f(key, value) for up to
+     * @p limit elements with key >= @p from, in key order. Returns the
+     * number visited. The lower-bound descent plus the parent-pointer
+     * successor walk keeps the transactional footprint proportional to
+     * tree depth + limit — the small-scan shape OLTP range queries
+     * want.
+     */
+    template <typename Ctx, typename F>
+    unsigned
+    rangeEach(Ctx& c, std::uint64_t from, unsigned limit, F&& f)
+    {
+        Node* node = c.load(&root_);
+        Node* next = nullptr;
+        while (node != nullptr) {
+            if (c.load(&node->key) >= from) {
+                next = node;
+                node = c.load(&node->left);
+            } else {
+                node = c.load(&node->right);
+            }
+        }
+        unsigned visited = 0;
+        while (next != nullptr && visited < limit) {
+            f(c.load(&next->key), c.load(&next->value));
+            ++visited;
+            next = successor(c, next);
+        }
+        return visited;
+    }
+
+    /**
      * Validate red-black invariants (host-side). Returns the black
      * height, or -1 if any invariant is violated. For tests.
      */
@@ -198,6 +229,28 @@ class TmRbTree
                                   : c.load(&node->right);
         }
         return nullptr;
+    }
+
+    /** In-order successor via parent pointers (no stack). */
+    template <typename Ctx>
+    Node*
+    successor(Ctx& c, Node* node)
+    {
+        Node* right = c.load(&node->right);
+        if (right != nullptr) {
+            Node* left = c.load(&right->left);
+            while (left != nullptr) {
+                right = left;
+                left = c.load(&right->left);
+            }
+            return right;
+        }
+        Node* parent = c.load(&node->parent);
+        while (parent != nullptr && c.load(&parent->right) == node) {
+            node = parent;
+            parent = c.load(&parent->parent);
+        }
+        return parent;
     }
 
     template <typename Ctx>

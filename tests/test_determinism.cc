@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/suite.hh"
+#include "sim/scheduler.hh"
 
 namespace
 {
@@ -49,12 +50,15 @@ constexpr std::uint64_t kSeed = 1;
 
 /// Run the full tuning grid for one cell in a forked child and collect
 /// the per-candidate metrics in the parent. @p batch selects the
-/// epoch-batched sync() fast path or the `--no-batch` slow path; the
-/// two must be bit-identical (DESIGN.md Section 5).
+/// epoch-batched sync() fast path or the `--no-batch` slow path;
+/// @p policy selects how the schedulers in the child provision fiber
+/// stacks (lazily from the pool or eagerly up front). Either way the
+/// results must be bit-identical (DESIGN.md Sections 5 and 9).
 bool
 runGridForked(const std::string& bench,
               const htm::MachineConfig& machine,
-              std::vector<CandidateMetrics>& grid, bool batch = true)
+              std::vector<CandidateMetrics>& grid, bool batch = true,
+              sim::StackPolicy policy = sim::StackPolicy::pooled)
 {
     int fds[2];
     if (::pipe(fds) != 0)
@@ -67,6 +71,7 @@ runGridForked(const std::string& bench,
     }
     if (child == 0) {
         ::close(fds[0]);
+        sim::Scheduler::setDefaultStackPolicy(policy);
         bench::SuiteRunner runner(false);
         const auto configs =
             bench::SuiteRunner::tuningCandidates(machine);
@@ -185,6 +190,50 @@ TEST(Determinism, BatchedAndUnbatchedRunsAreBitIdentical)
     std::uint64_t total_commits = 0;
     std::uint64_t total_aborts = 0;
     for (const CandidateMetrics& metrics : batched) {
+        total_commits += metrics.commits;
+        total_aborts += metrics.aborts;
+    }
+    EXPECT_GT(total_commits, 0u);
+    EXPECT_GT(total_aborts, 0u);
+}
+
+// Stack pooling (DESIGN.md Section 9) commits a fiber's stack lazily
+// at first dispatch; the eager policy commits every stack up front.
+// Because a pool slot's address is a pure function of its index,
+// commit *timing* must be invisible to the simulated machine models —
+// a pooled run and an eager run from the same parent image must be
+// byte-for-byte equal, exactly like the batching A/B above. This is
+// the contract that lets the scheduler scale to 256+ fibers without
+// perturbing any existing result.
+TEST(Determinism, PooledAndEagerStacksAreBitIdentical)
+{
+    const htm::MachineConfig machine = htm::MachineConfig::all()[2];
+    ASSERT_EQ(machine.name, "Intel Core i7-4770");
+    const std::string bench = "intruder";
+    const std::size_t candidates =
+        bench::SuiteRunner::tuningCandidates(machine).size();
+    ASSERT_GT(candidates, 0u);
+
+    std::vector<CandidateMetrics> pooled(candidates);
+    std::vector<CandidateMetrics> eager(candidates);
+
+    ASSERT_TRUE(runGridForked(bench, machine, pooled, true,
+                              sim::StackPolicy::pooled));
+    ASSERT_TRUE(runGridForked(bench, machine, eager, true,
+                              sim::StackPolicy::eager));
+
+    for (std::size_t i = 0; i < candidates; ++i) {
+        SCOPED_TRACE("candidate " + std::to_string(i));
+        EXPECT_EQ(pooled[i].seqCycles, eager[i].seqCycles);
+        EXPECT_EQ(pooled[i].tmCycles, eager[i].tmCycles);
+        EXPECT_EQ(pooled[i].commits, eager[i].commits);
+        EXPECT_EQ(pooled[i].aborts, eager[i].aborts);
+        EXPECT_EQ(pooled[i].causes, eager[i].causes);
+    }
+
+    std::uint64_t total_commits = 0;
+    std::uint64_t total_aborts = 0;
+    for (const CandidateMetrics& metrics : pooled) {
         total_commits += metrics.commits;
         total_aborts += metrics.aborts;
     }
