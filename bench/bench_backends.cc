@@ -9,8 +9,10 @@
  * The lock-only column bounds what serialization alone achieves (it
  * cannot meaningfully exceed 1x at four threads); the ideal column
  * bounds what any best-effort HTM could achieve on the same conflict
- * structure. Emits BENCH_backends.json with per-machine geomeans and
- * the two sanity checks.
+ * structure; the hybrid column replaces most global-lock fallbacks
+ * with a concurrent software slow path (stm.hh). Emits
+ * BENCH_backends.json with per-machine geomeans and the two sanity
+ * checks.
  */
 
 #include <cmath>
@@ -34,6 +36,7 @@ struct CellRow
     double htm = 0.0;
     double lock = 0.0;
     double ideal = 0.0;
+    double hybrid = 0.0;
 };
 
 /** Best speed-up over the tuning grid with @p backend selected. */
@@ -84,8 +87,8 @@ main(int argc, char** argv)
     const std::uint64_t seed = 1;
     const bench::SuiteRunner runner(false);
 
-    std::printf("%-14s %-22s %8s %8s %8s\n", "benchmark", "machine",
-                "htm", "lock", "ideal");
+    std::printf("%-14s %-22s %8s %8s %8s %8s\n", "benchmark",
+                "machine", "htm", "lock", "ideal", "hybrid");
 
     std::vector<CellRow> rows;
     unsigned lock_violations = 0;
@@ -110,14 +113,16 @@ main(int argc, char** argv)
             }
             row.ideal = tunedBest(runner, bench, machine,
                                   BackendKind::idealHtm, threads, seed);
+            row.hybrid = tunedBest(runner, bench, machine,
+                                   BackendKind::hybrid, threads, seed);
 
             const bool lock_bad = row.lock > 1.05;
             const bool ideal_bad = row.ideal < row.htm;
             lock_violations += lock_bad ? 1 : 0;
             ideal_violations += ideal_bad ? 1 : 0;
-            std::printf("%-14s %-22s %8.2f %8.2f %8.2f%s%s\n",
+            std::printf("%-14s %-22s %8.2f %8.2f %8.2f %8.2f%s%s\n",
                         bench.c_str(), machine.name.c_str(), row.htm,
-                        row.lock, row.ideal,
+                        row.lock, row.ideal, row.hybrid,
                         lock_bad ? "  [lock > 1.05]" : "",
                         ideal_bad ? "  [ideal < htm]" : "");
             std::fflush(stdout);
@@ -144,36 +149,42 @@ main(int argc, char** argv)
         std::fprintf(out,
                      "    {\"bench\": \"%s\", \"machine\": \"%s\", "
                      "\"htm\": %.4f, \"lock\": %.4f, "
-                     "\"ideal\": %.4f}%s\n",
+                     "\"ideal\": %.4f, \"hybrid\": %.4f}%s\n",
                      row.bench.c_str(), row.machine.c_str(), row.htm,
-                     row.lock, row.ideal,
+                     row.lock, row.ideal, row.hybrid,
                      i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n  \"geomeans\": [\n");
     std::size_t machine_index = 0;
     const auto& machines = htm::MachineConfig::all();
-    std::printf("\n%-22s %8s %8s %8s\n", "geomean", "htm", "lock",
-                "ideal");
+    std::printf("\n%-22s %8s %8s %8s %8s\n", "geomean", "htm",
+                "lock", "ideal", "hybrid");
     for (const htm::MachineConfig& machine : machines) {
         std::vector<double> htm_values;
         std::vector<double> lock_values;
         std::vector<double> ideal_values;
+        std::vector<double> hybrid_values;
         for (const CellRow& row : rows) {
             if (row.machine != machine.name)
                 continue;
             htm_values.push_back(row.htm);
             lock_values.push_back(row.lock);
             ideal_values.push_back(row.ideal);
+            hybrid_values.push_back(row.hybrid);
         }
         const double g_htm = geomean(htm_values);
         const double g_lock = geomean(lock_values);
         const double g_ideal = geomean(ideal_values);
-        std::printf("%-22s %8.2f %8.2f %8.2f\n", machine.name.c_str(),
-                    g_htm, g_lock, g_ideal);
+        const double g_hybrid = geomean(hybrid_values);
+        std::printf("%-22s %8.2f %8.2f %8.2f %8.2f\n",
+                    machine.name.c_str(), g_htm, g_lock, g_ideal,
+                    g_hybrid);
         std::fprintf(out,
                      "    {\"machine\": \"%s\", \"htm\": %.4f, "
-                     "\"lock\": %.4f, \"ideal\": %.4f}%s\n",
+                     "\"lock\": %.4f, \"ideal\": %.4f, "
+                     "\"hybrid\": %.4f}%s\n",
                      machine.name.c_str(), g_htm, g_lock, g_ideal,
+                     g_hybrid,
                      ++machine_index < machines.size() ? "," : "");
     }
     std::fprintf(out,

@@ -2,8 +2,8 @@
  * @file
  * Server benchmark: tail latency of the TM-backed KV/OLTP store.
  *
- * Sweeps the four machine models x three backends (best-effort HTM,
- * global-lock-only, ideal HTM) x two traffic profiles at 64 and 256
+ * Sweeps the four machine models x four backends (best-effort HTM,
+ * global-lock-only, ideal HTM, hybrid HTM+STM) x two traffic profiles at 64 and 256
  * open-loop clients, and reports committed-transaction throughput plus
  * virtual-time latency percentiles (p50/p99/p999, first attempt ->
  * commit). A txprof profiler rides along on every run (it is
@@ -45,6 +45,7 @@ backendName(htm::BackendKind backend)
     case htm::BackendKind::htm: return "htm";
     case htm::BackendKind::globalLock: return "lock";
     case htm::BackendKind::idealHtm: return "ideal";
+    case htm::BackendKind::hybrid: return "hybrid";
     }
     return "?";
 }
@@ -124,7 +125,7 @@ main(int argc, char** argv)
               : std::vector<unsigned>{64, 256};
     const std::vector<htm::BackendKind> backends = {
         htm::BackendKind::htm, htm::BackendKind::globalLock,
-        htm::BackendKind::idealHtm};
+        htm::BackendKind::idealHtm, htm::BackendKind::hybrid};
     const std::vector<Profile> profiles = {
         {"readmostly", readMostlyTraffic()},
         {"contended", contendedTraffic()},

@@ -61,7 +61,7 @@ usage()
                  "[backend] [policy] [options]\n"
                  "  benchmark: %s\n"
                  "  machine:   bg|z12|ic|p8\n"
-                 "  backend:   htm|lock|ideal\n"
+                 "  backend:   htm|lock|ideal|hybrid\n"
                  "  policy:    default|hardened\n"
                  "  options:   --prof FILE --perfetto FILE --no-batch "
                  "--quiet\n"
@@ -133,6 +133,8 @@ main(int argc, char** argv)
         backend = htm::BackendKind::globalLock;
     } else if (backend_name == "ideal") {
         backend = htm::BackendKind::idealHtm;
+    } else if (backend_name == "hybrid") {
+        backend = htm::BackendKind::hybrid;
     } else {
         std::fprintf(stderr, "unknown backend '%s'\n",
                      backend_name.c_str());

@@ -95,6 +95,14 @@ usage(std::FILE* out)
         "  --hazard-seed S    hazard RNG seed (default 1)\n"
         "  --hazard-pin T     pin thread T as a spurious-abort victim\n"
         "  --policy P         default | hardened retry policy\n"
+        "backend:\n"
+        "  --backend B        htm | hybrid concurrent phase "
+        "(default htm)\n"
+        "  --subscription S   eager | lazy hybrid clock subscription\n"
+        "  --stm-only         hybrid: skip hardware attempts\n"
+        "  --stm-attempts N   hybrid: software attempts before the\n"
+        "                     global-lock fallback (default 3)\n"
+        "  --orec-log2 N      hybrid: log2 of the orec-table size\n"
         "liveness:\n"
         "  --liveness         run the liveness oracle (progress\n"
         "                     bounds) instead of the differential one\n"
@@ -102,7 +110,7 @@ usage(std::FILE* out)
         "  --starvation-bound N    peer-commit bound (default 512)\n"
         "self-test:\n"
         "  --inject-fault F   none | miss-reader-conflict | "
-        "stuck-retry\n"
+        "stuck-retry | stm-subscription\n"
         "  --expect-failure   exit 0 iff a failure is found and\n"
         "                     shrinks to at most --max-shrunk points\n"
         "  --max-shrunk N     shrink bound for --expect-failure "
@@ -164,10 +172,31 @@ extraReplayFlags(const Args& args)
     }
     if (args.options.policyKind == htm::RetryPolicyKind::hardened)
         flags += " --policy hardened";
+    if (args.options.backend == htm::BackendKind::hybrid) {
+        flags += " --backend hybrid";
+        flags += args.options.hybrid.subscription ==
+                         htm::HybridRuntimeConfig::Subscription::lazy
+                     ? " --subscription lazy"
+                     : " --subscription eager";
+        if (args.options.hybrid.stmOnly)
+            flags += " --stm-only";
+        if (args.options.hybrid.stmAttempts != 3) {
+            std::snprintf(buffer, sizeof(buffer), " --stm-attempts %d",
+                          args.options.hybrid.stmAttempts);
+            flags += buffer;
+        }
+        if (args.options.hybrid.orecTableLog2 != 10) {
+            std::snprintf(buffer, sizeof(buffer), " --orec-log2 %u",
+                          args.options.hybrid.orecTableLog2);
+            flags += buffer;
+        }
+    }
     if (args.options.fault == htm::CheckFault::missReaderConflict)
         flags += " --inject-fault miss-reader-conflict";
     if (args.options.fault == htm::CheckFault::stuckRetry)
         flags += " --inject-fault stuck-retry";
+    if (args.options.fault == htm::CheckFault::missStmSubscription)
+        flags += " --inject-fault stm-subscription";
     if (args.liveness)
         flags += " --liveness";
     return flags;
@@ -275,6 +304,41 @@ main(int argc, char** argv)
                              policy.c_str());
                 return 2;
             }
+        } else if (flag == "--backend") {
+            const std::string backend = next();
+            if (backend == "htm") {
+                args.options.backend = htm::BackendKind::htm;
+            } else if (backend == "hybrid") {
+                args.options.backend = htm::BackendKind::hybrid;
+            } else {
+                std::fprintf(stderr,
+                             "unknown backend '%s' (htm | hybrid)\n",
+                             backend.c_str());
+                return 2;
+            }
+        } else if (flag == "--subscription") {
+            const std::string mode = next();
+            if (mode == "eager") {
+                args.options.hybrid.subscription =
+                    htm::HybridRuntimeConfig::Subscription::eager;
+            } else if (mode == "lazy") {
+                args.options.hybrid.subscription =
+                    htm::HybridRuntimeConfig::Subscription::lazy;
+            } else {
+                std::fprintf(stderr,
+                             "unknown subscription '%s' (eager | "
+                             "lazy)\n",
+                             mode.c_str());
+                return 2;
+            }
+        } else if (flag == "--stm-only") {
+            args.options.hybrid.stmOnly = true;
+        } else if (flag == "--stm-attempts") {
+            args.options.hybrid.stmAttempts =
+                int(std::strtol(next(), nullptr, 0));
+        } else if (flag == "--orec-log2") {
+            args.options.hybrid.orecTableLog2 =
+                unsigned(std::strtoul(next(), nullptr, 0));
         } else if (flag == "--liveness") {
             args.liveness = true;
         } else if (flag == "--max-section-cycles") {
@@ -292,6 +356,9 @@ main(int argc, char** argv)
                     htm::CheckFault::missReaderConflict;
             } else if (fault == "stuck-retry") {
                 args.options.fault = htm::CheckFault::stuckRetry;
+            } else if (fault == "stm-subscription") {
+                args.options.fault =
+                    htm::CheckFault::missStmSubscription;
             } else {
                 std::fprintf(stderr, "unknown fault '%s'\n",
                              fault.c_str());

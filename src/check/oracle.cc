@@ -89,6 +89,8 @@ runDifferential(const WorkloadFactory& workload,
     config.checkFault = options.fault;
     config.hazard = options.hazard;
     config.policyKind = options.policyKind;
+    config.backend = options.backend;
+    config.hybrid = options.hybrid;
     htm::Runtime runtime(config, threads);
     CheckObserver observer(options.ringCapacity);
     runtime.setObserver(&observer);

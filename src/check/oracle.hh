@@ -56,6 +56,12 @@ struct CheckOptions
     htm::HazardConfig hazard;
     /** Retry policy the concurrent phase runs under. */
     htm::RetryPolicyKind policyKind = htm::RetryPolicyKind::machineDefault;
+    /** Backend the concurrent phase runs under (htm or hybrid; the
+     *  serial replay always uses the global-lock backend). */
+    htm::BackendKind backend = htm::BackendKind::htm;
+    /** Hybrid-backend knobs (subscription mode, software-path
+     *  switches); only read when backend == hybrid. */
+    htm::HybridRuntimeConfig hybrid;
 };
 
 /** Verdict of one oracle run. */

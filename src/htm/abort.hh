@@ -43,13 +43,17 @@ enum class AbortCause : std::uint8_t
     spurious,
     /** Injected interrupt-style abort (hazard layer, hazard.hh). */
     interrupt,
+    /** STM-side conflict: orec validation or clock-epoch failure on
+     *  the hybrid backend's software slow path (stm.hh). Also raised
+     *  by HTM attempts doomed through the clock-subscription channel. */
+    stmConflict,
 };
 
 /** Number of AbortCause values; sizes every per-cause counter array
  *  (TxStats::trueCauseAborts, prof::SiteProfile::abortCauses) so the
  *  tallies grow in lockstep when a cause is added. */
 constexpr std::size_t numAbortCauses =
-    std::size_t(AbortCause::interrupt) + 1;
+    std::size_t(AbortCause::stmConflict) + 1;
 
 /** Figure 3 reporting buckets. */
 enum class AbortCategory : std::uint8_t
@@ -71,6 +75,9 @@ categorize(AbortCause cause)
       case AbortCause::wayConflict:
         return AbortCategory::capacityOverflow;
       case AbortCause::dataConflict:
+      // STM conflicts are data conflicts observed in software; they
+      // report precisely because the slow path knows its own cause.
+      case AbortCause::stmConflict:
         return AbortCategory::dataConflict;
       case AbortCause::lockConflict:
         return AbortCategory::lockConflict;

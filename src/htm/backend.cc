@@ -15,6 +15,8 @@ backendKindName(BackendKind kind)
         return "lock";
       case BackendKind::idealHtm:
         return "ideal";
+      case BackendKind::hybrid:
+        return "hybrid";
     }
     return "unknown";
 }
@@ -29,6 +31,13 @@ TmBackend::attemptOnce(Runtime& runtime, sim::ThreadContext& ctx,
 {
     return runtime.attempt(runtime.txOf(ctx.id()), ctx, body,
                            lazy_subscribe, true);
+}
+
+AbortCause
+TmBackend::attemptStmOnce(Runtime& runtime, sim::ThreadContext& ctx,
+                          FunctionRef<void(Tx&)> body)
+{
+    return runtime.stmAttempt(runtime.txOf(ctx.id()), ctx, body);
 }
 
 void
@@ -67,6 +76,17 @@ HtmBackend::HtmBackend(const RuntimeConfig& config, unsigned num_threads)
     policies_.reserve(num_threads);
     for (unsigned tid = 0; tid < num_threads; ++tid)
         policies_.push_back(makeRetryPolicy(config));
+
+    // Bound for every backend kind, used only by HybridBackend: the
+    // wrappers are plain values over policies_, so building them
+    // unconditionally keeps the allocation sequence independent of the
+    // selected backend (the A/B bit-identity contract, stm.hh).
+    const HybridRetryPolicy::Tuning tuning{config.hybrid.stmEnabled,
+                                           config.hybrid.stmOnly,
+                                           config.hybrid.stmAttempts};
+    hybrids_.resize(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid)
+        hybrids_[tid].bind(policies_[tid].get(), tuning);
 }
 
 void
@@ -112,6 +132,71 @@ HtmBackend::runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
 }
 
 // --------------------------------------------------------------------
+// HybridBackend
+// --------------------------------------------------------------------
+
+void
+HybridBackend::runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                         FunctionRef<void(Tx&)> body)
+{
+    // Same driver shape as HtmBackend, with one extra tier: when the
+    // hybrid policy routes away from hardware, the section runs as a
+    // software transaction *concurrent* with everyone else's hardware
+    // attempts, and only exhausted software sections serialize on the
+    // global lock.
+    HybridRetryPolicy& policy = hybrids_[ctx.id()];
+    const bool lazy = policy.lazySubscription();
+    const bool det_jitter = policy.deterministicBackoff();
+    policy.beginSection();
+
+    unsigned consecutive = 0;
+    bool software = policy.softwareFirst();
+    for (;;) {
+        // Lemming-storm guard applies to both tiers: a software
+        // attempt started behind a held fallback lock would only abort
+        // at its commit point (stm.cc), so don't feed it either.
+        waitToBegin(runtime, ctx);
+
+        if (!software) {
+            const AbortCause cause =
+                attemptOnce(runtime, ctx, body, lazy);
+            if (cause == AbortCause::none) {
+                policy.onCommit();
+                return;
+            }
+            ++consecutive;
+            const auto decision =
+                policy.onHtmAbort(cause, lockHeld(runtime));
+            if (decision == HybridRetryPolicy::Decision::retryHtm) {
+                backoff(runtime, ctx, consecutive, det_jitter);
+                continue;
+            }
+            if (decision == HybridRetryPolicy::Decision::fallbackStm) {
+                software = true;
+                continue;
+            }
+            break; // fallbackLock
+        }
+
+        const AbortCause cause = attemptStmOnce(runtime, ctx, body);
+        if (cause == AbortCause::none) {
+            policy.onCommit();
+            return;
+        }
+        ++consecutive;
+        if (policy.onStmAbort(cause) ==
+            HybridRetryPolicy::Decision::fallbackStm) {
+            backoff(runtime, ctx, consecutive, det_jitter);
+            continue;
+        }
+        break; // fallbackLock
+    }
+
+    runUnderGlobalLock(runtime, ctx, body);
+    policy.onFallback();
+}
+
+// --------------------------------------------------------------------
 // GlobalLockBackend
 // --------------------------------------------------------------------
 
@@ -130,6 +215,8 @@ makeBackend(const RuntimeConfig& config, unsigned num_threads)
         return std::make_unique<GlobalLockBackend>();
       case BackendKind::idealHtm:
         return std::make_unique<IdealHtmBackend>(config, num_threads);
+      case BackendKind::hybrid:
+        return std::make_unique<HybridBackend>(config, num_threads);
       case BackendKind::htm:
         break;
     }

@@ -15,7 +15,12 @@
  *  - IdealHtmBackend: transactions with unlimited capacity and free
  *    begin/end/abort — an upper-bound oracle isolating how much the
  *    real machines' capacity limits and bookkeeping overheads cost
- *    (only true data and lock conflicts remain).
+ *    (only true data and lock conflicts remain);
+ *  - HybridBackend: hardware attempts with a concurrent software-TM
+ *    slow path (stm.hh) replacing most global-lock fallbacks — the
+ *    design point the hybrid-TM bounds literature analyzes ("Inherent
+ *    Limitations of Hybrid Transactional Memory"; "On the Cost of
+ *    Concurrency in Hybrid Transactional Memory", PAPERS.md).
  *
  * Backends are selected by RuntimeConfig::backend; the ideal
  * backend's relaxations are applied where the Runtime resolves its
@@ -57,9 +62,12 @@ enum class BackendKind : std::uint8_t
     globalLock,
     /** HTM with unlimited capacity and free begin/end (oracle). */
     idealHtm,
+    /** Best-effort HTM with a concurrent software-TM slow path
+     *  (stm.hh) between the retries and the global lock. */
+    hybrid,
 };
 
-/** Human-readable backend name ("htm", "lock", "ideal"). */
+/** Human-readable backend name ("htm", "lock", "ideal", "hybrid"). */
 const char* backendKindName(BackendKind kind);
 
 /** How one Runtime executes atomic sections. */
@@ -81,6 +89,11 @@ class TmBackend
                                   sim::ThreadContext& ctx,
                                   FunctionRef<void(Tx&)> body,
                                   bool lazy_subscribe);
+
+    /** One software-TM attempt (the hybrid backend's slow path). */
+    static AbortCause attemptStmOnce(Runtime& runtime,
+                                     sim::ThreadContext& ctx,
+                                     FunctionRef<void(Tx&)> body);
 
     /** Wait out a held fallback lock before beginning (Fig. 1 l. 9). */
     static void waitToBegin(Runtime& runtime, sim::ThreadContext& ctx);
@@ -114,8 +127,13 @@ class HtmBackend : public TmBackend
     void runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
                    FunctionRef<void(Tx&)> body) override;
 
-  private:
+  protected:
     std::vector<std::unique_ptr<RetryPolicy>> policies_;
+    /** Hybrid decision wrappers, one per thread, bound over
+     *  policies_. Built unconditionally — HybridBackend adds no data
+     *  members of its own, so selecting it changes no allocation
+     *  sequence (the A/B bit-identity contract, stm.hh). */
+    std::vector<HybridRetryPolicy> hybrids_;
 };
 
 /** Lock-only execution: no speculation, every section irrevocable. */
@@ -136,6 +154,25 @@ class IdealHtmBackend final : public HtmBackend
 {
   public:
     using HtmBackend::HtmBackend;
+};
+
+/**
+ * Hybrid TM: hardware attempts as in HtmBackend, but when the retry
+ * policy gives up — or immediately, for persistent causes — the
+ * section runs as a *software* transaction (stm.hh) concurrent with
+ * the hardware fast path, instead of serializing on the global lock.
+ * The lock remains the ultimate fallback after stmAttempts software
+ * failures (and for irrevocable needs), preserving the progress
+ * guarantee. With hybrid.stmEnabled=false this backend is
+ * byte-identical to HtmBackend (tests/test_hybrid.cc proves it).
+ */
+class HybridBackend final : public HtmBackend
+{
+  public:
+    using HtmBackend::HtmBackend;
+
+    void runAtomic(Runtime& runtime, sim::ThreadContext& ctx,
+                   FunctionRef<void(Tx&)> body) override;
 };
 
 /** The backend selected by @p config (one per Runtime). */

@@ -19,6 +19,7 @@ abortCauseName(AbortCause cause)
       case AbortCause::unclassified: return "unclassified";
       case AbortCause::spurious: return "spurious";
       case AbortCause::interrupt: return "interrupt";
+      case AbortCause::stmConflict: return "stm-conflict";
     }
     return "?";
 }

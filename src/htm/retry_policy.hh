@@ -354,6 +354,116 @@ class HardenedRetryPolicy final : public RetryPolicy
 };
 
 /**
+ * Decision layer of the hybrid backend (backend.hh HybridBackend):
+ * wraps a thread's base RetryPolicy and turns its binary retry/stop
+ * output into a three-way decision — retry in hardware, fall back to
+ * the *software* slow path, or (only when the software path is
+ * exhausted or disabled) serialize on the global lock.
+ *
+ * Decision rules:
+ *  - software path disabled: mirror the base policy exactly
+ *    (retryHtm while it says retry, then fallbackLock) — the hybrid
+ *    backend degenerates to HtmBackend;
+ *  - persistent abort causes (capacity, way conflict): straight to
+ *    fallbackStm *without* consuming base-policy budget — retrying a
+ *    too-big transaction in hardware is the waste the hybrid exists
+ *    to avoid, and the software path has no capacity limit;
+ *  - transient causes: retryHtm while the base policy says retry,
+ *    fallbackStm when it gives up — the lock is no longer the next
+ *    stop after hardware;
+ *  - software aborts: up to stmAttempts tries, then fallbackLock
+ *    (the progress guarantee: validation-doomed sections eventually
+ *    serialize).
+ *
+ * Like every policy, this is a pure decision object — unit-tested
+ * with scripted abort streams in tests/test_retry_policy.cc.
+ */
+class HybridRetryPolicy
+{
+  public:
+    /** Where the section goes after an abort. */
+    enum class Decision : std::uint8_t
+    {
+        retryHtm,
+        fallbackStm,
+        fallbackLock,
+    };
+
+    /** Resolved hybrid knobs (from RuntimeConfig::hybrid). */
+    struct Tuning
+    {
+        bool stmEnabled = true;
+        bool stmOnly = false;
+        int stmAttempts = 3;
+    };
+
+    HybridRetryPolicy() = default;
+
+    /** Bind the thread's base policy (owned by the backend). */
+    void
+    bind(RetryPolicy* base, Tuning tuning)
+    {
+        base_ = base;
+        tuning_ = tuning;
+    }
+
+    /** True if hardware attempts are skipped entirely (stmOnly). */
+    bool
+    softwareFirst() const
+    {
+        return tuning_.stmEnabled && tuning_.stmOnly;
+    }
+
+    void
+    beginSection()
+    {
+        base_->beginSection();
+        stmFailures_ = 0;
+    }
+
+    Decision
+    onHtmAbort(AbortCause cause, bool lock_held)
+    {
+        if (!tuning_.stmEnabled) {
+            return base_->onAbort(cause, lock_held)
+                       ? Decision::retryHtm
+                       : Decision::fallbackLock;
+        }
+        if (isPersistentCause(cause) && !lock_held) {
+            // Persistent hardware causes do not drain base budgets:
+            // the hardware already told us retrying is futile, and
+            // the software path does not share the limitation.
+            return Decision::fallbackStm;
+        }
+        return base_->onAbort(cause, lock_held) ? Decision::retryHtm
+                                                : Decision::fallbackStm;
+    }
+
+    Decision
+    onStmAbort(AbortCause)
+    {
+        return ++stmFailures_ < tuning_.stmAttempts
+                   ? Decision::fallbackStm
+                   : Decision::fallbackLock;
+    }
+
+    void onCommit() { base_->onCommit(); }
+    void onFallback() { base_->onFallback(); }
+
+    bool lazySubscription() const { return base_->lazySubscription(); }
+    bool
+    deterministicBackoff() const
+    {
+        return base_->deterministicBackoff();
+    }
+
+  private:
+    RetryPolicy* base_ = nullptr;
+    Tuning tuning_;
+    int stmFailures_ = 0;
+};
+
+/**
  * The policy an HTM-backed atomic section uses under @p config:
  * HardenedRetryPolicy everywhere when config.policyKind requests it,
  * otherwise BgqAdaptivePolicy on Blue Gene/Q (the machine's system

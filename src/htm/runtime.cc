@@ -84,11 +84,28 @@ Runtime::Runtime(RuntimeConfig config, unsigned num_threads)
         specIdPool_ = 0;
     }
 
+    // Hybrid-backend flags, resolved once: every software-TM hook on
+    // the shared hot paths gates on stmEnabled_, so other backends —
+    // and hybrid with the software path switched off — execute the
+    // unmodified instruction stream (the A/B bit-identity contract).
+    stmEnabled_ = config_.backend == BackendKind::hybrid &&
+                  config_.hybrid.stmEnabled;
+    stmEagerSub_ = config_.hybrid.subscription ==
+                   HybridRuntimeConfig::Subscription::eager;
+
     capacityModel_ =
         makeCapacityModel(machine, config_.ignoreCapacity || ideal);
     backend_ = makeBackend(config_, num_threads);
     observer_ = config_.observer;
     hazard_.reset(config_.hazard, num_threads);
+    // The orec table is only materialized when the software path is
+    // live: every stm_ access on the shared paths is behind the
+    // stmEnabled_ gate, and skipping the (potentially large) heap
+    // allocation keeps non-hybrid runs' allocation sequence — and
+    // therefore the address-hashed conflict behavior — identical to a
+    // build without the hybrid layer.
+    if (stmEnabled_)
+        stm_.reset(config_.hybrid, conflictShift_);
     stats_.resize(num_threads);
     activePerCore_.assign(machine.numCores, 0);
     freeSpecIds_ = specIdPool_;
@@ -189,6 +206,17 @@ void
 Runtime::nonTxConflict(unsigned tid, std::uintptr_t addr, bool is_write,
                        Cycles now)
 {
+    if (stmEnabled_ && is_write) {
+        // Hybrid instrumentation gate: every direct store — from
+        // irrevocable sections, suspended mode, non-transactional
+        // accessors, the lock words, or a software commit's write-back
+        // — stamps the address's orec, so concurrent software
+        // validation observes it. Before the directory early-return:
+        // the orec must be stamped even when no hardware transaction
+        // is tracking the line.
+        stm_.onDirectStore(addr);
+    }
+
     const std::uintptr_t line_number = conflictLineOf(addr);
     ConflictLineState* line = findDirectoryLine(line_number);
     if (line == nullptr)
@@ -243,12 +271,35 @@ Runtime::txBegin(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
         if (lock != 0)
             tx.selfAbort(AbortCause::lockConflict);
     }
+
+    if (stmEnabled_ && !tx.constrained_) {
+        if (stmEagerSub_) {
+            // Eager subscription: the clock cell joins the read set
+            // like the lock word above, so a software commit's
+            // publication dooms this transaction on the spot.
+            (void)tx.load(stm_.clockCellAddr());
+        } else {
+            // Lazy subscription: snapshot now, compare at commit.
+            tx.stmClockSnap_ = stm_.clockCell();
+        }
+    }
 }
 
 void
 Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
 {
-    ctx.advance(txEndCost_);
+    Cycles end_cost = txEndCost_;
+    if (stmEnabled_) {
+        // The hybrid fast path is instrumented: a committing hardware
+        // transaction advances the software clock and stamps the orec
+        // of every written line so concurrent software validation
+        // observes it — the overhead the hybrid-TM bounds literature
+        // proves some part of the fast path must pay.
+        end_cost += config_.hybrid.htmInstrumentationCost +
+                    config_.hybrid.htmOrecPublishCost *
+                        Cycles(tx.storeLines_);
+    }
+    ctx.advance(end_cost);
     ctx.sync();
     tx.checkDoom();
 
@@ -268,6 +319,15 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
         tx.selfAbort(AbortCause::lockConflict);
     }
 
+    if (stmEnabled_ && !stmEagerSub_ && !tx.constrained_ &&
+        stm_.clockCell() != tx.stmClockSnap_) {
+        // Lazy subscription: a software transaction committed since
+        // begin. Any true overlap already doomed us per address during
+        // its write-back; the clock compare is the conservative
+        // NOrec-style belt-and-braces the mode models.
+        tx.selfAbort(AbortCause::stmConflict);
+    }
+
     // Commit point: no scheduling points below, so write-back and
     // directory cleanup are atomic in virtual time. The write-back
     // follows the append-only log (its order matters for overlapping
@@ -278,6 +338,20 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
         std::memcpy(reinterpret_cast<void*>(addr), &entry->value,
                     entry->size);
     }
+    if (stmEnabled_ && !tx.writeLog_.empty()) {
+        // Hybrid instrumentation: publish this commit's writes to the
+        // software validation state (one clock tick, all written
+        // lines' orecs). The clock *cell* is left alone — only
+        // software commits store to it, so hardware commits never doom
+        // fellow hardware transactions through the subscription
+        // channel (the Hybrid-NOrec serialize-everything trap).
+        const std::uint64_t wv = stm_.advanceClock();
+        tx.conflictLines_.forEach(
+            [&](std::uintptr_t line_number, std::uint8_t flags) {
+                if (flags & Tx::lineWritten)
+                    stm_.bumpOrec(stm_.indexOfLine(line_number), wv);
+            });
+    }
     tx.conflictLines_.forEach(
         [&](std::uintptr_t line_number, std::uint8_t flags) {
             if (flags & Tx::lineRead)
@@ -285,8 +359,10 @@ Runtime::txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe)
             if (flags & Tx::lineWritten)
                 clearDirectoryWriter(line_number, tx.tid_);
         });
-    for (const auto& record : tx.deferredFrees_)
+    for (const auto& record : tx.deferredFrees_) {
+        stmOnFree(record.ptr, record.bytes);
         NodePool::instance().free(record.ptr, record.bytes);
+    }
 
     if (config_.collectTrace)
         trace_.record(tx.loadLines_, tx.storeLines_);

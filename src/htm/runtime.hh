@@ -37,6 +37,7 @@
 #include "retry_policy.hh"
 #include "site.hh"
 #include "stats.hh"
+#include "stm.hh"
 #include "tx.hh"
 #include "sim/scheduler.hh"
 
@@ -158,6 +159,12 @@ enum class CheckFault : std::uint8_t
      *  attempts keep aborting retries forever (a liveness violation
      *  the liveness oracle must catch). */
     stuckRetry,
+    /** Hybrid-backend subscription bug: a software commit's write-back
+     *  skips both the per-address dooming of conflicting hardware
+     *  transactions and the clock-cell publication (orec bumps are
+     *  kept), so hardware readers commit stale snapshots under either
+     *  subscription mode (lost updates the oracle must catch). */
+    missStmSubscription,
 };
 
 /** Blue Gene/Q-specific runtime knobs (Section 2.1 / Section 3). */
@@ -206,6 +213,12 @@ struct RuntimeConfig
 
     /** Injected model fault for simcheck oracle self-tests only. */
     CheckFault checkFault = CheckFault::none;
+
+    /** Hybrid-backend knobs (stm.hh): subscription mode, software
+     *  retry budget, orec-table geometry, cost model. Read only when
+     *  backend == BackendKind::hybrid, but the engine state it sizes
+     *  is allocated unconditionally (determinism contract). */
+    HybridRuntimeConfig hybrid;
 
     /** Deterministic hazard injection (hazard.hh). Off by default;
      *  when off the layer is provably zero-perturbation. */
@@ -516,6 +529,21 @@ class Runtime
     TraceCollector& trace() { return trace_; }
     const TraceCollector& trace() const { return trace_; }
 
+    /** The software-TM engine (hybrid backend; tests inspect the
+     *  clock/epoch, everything else goes through atomic()). */
+    const StmEngine& stm() const { return stm_; }
+
+    /** Free-is-a-write instrumentation (StmEngine::onFree), gated so
+     *  non-hybrid runs never touch the engine. Every path that
+     *  releases simulated memory back to the pool while software
+     *  transactions may be in flight must pass through here. */
+    void
+    stmOnFree(const void* ptr, std::size_t bytes)
+    {
+        if (stmEnabled_)
+            stm_.onFree(ptr, bytes);
+    }
+
     /**
      * Register a lifecycle-event observer (nullptr to remove).
      * Non-owning; must outlive the run. Events are delivered in
@@ -585,6 +613,17 @@ class Runtime
     void txCommit(Tx& tx, sim::ThreadContext& ctx, bool lazy_subscribe);
     void rollback(Tx& tx, sim::ThreadContext& ctx);
     void recordAbort(Tx& tx, AbortCause cause);
+
+    // --- Software slow path (hybrid backend; stm.cc) ------------------
+
+    /** One software attempt: begin, body, commit-time validation and
+     *  write-back. Returns AbortCause::none on success. */
+    AbortCause stmAttempt(Tx& tx, sim::ThreadContext& ctx,
+                          FunctionRef<void(Tx&)> body);
+
+    void stmBegin(Tx& tx, sim::ThreadContext& ctx);
+    void stmCommit(Tx& tx, sim::ThreadContext& ctx);
+    void stmRollback(Tx& tx, sim::ThreadContext& ctx, AbortCause cause);
 
     /** Spin until the global lock is free (lemming-effect avoidance,
      *  Figure 1 line 9) and no constrained transaction has priority. */
@@ -696,6 +735,14 @@ class Runtime
     bool lazySubscription_ = false;
     unsigned specIdPool_ = 0;
 
+    /** Resolved once: backend == hybrid and the software path is on.
+     *  Every hybrid hook on the shared hot paths gates on this, so
+     *  other backends (and hybrid with stmEnabled=false) execute the
+     *  unmodified instruction stream. */
+    bool stmEnabled_ = false;
+    /** Resolved subscription mode (eager = clock-cell load at begin). */
+    bool stmEagerSub_ = false;
+
     /** The conflict directory (see ConflictLineState). */
     FlatTable<ConflictLineState, 64> directory_;
     std::unique_ptr<CapacityModel> capacityModel_;
@@ -709,6 +756,11 @@ class Runtime
      *  unconditionally so enabling hazards changes no allocation
      *  sequence; every hot-path hook is gated on hazard_.enabled(). */
     HazardInjector hazard_;
+
+    /** Software-TM engine (stm.hh). Embedded by value and sized
+     *  unconditionally, like hazard_: selecting the hybrid backend
+     *  changes no allocation sequence. */
+    StmEngine stm_;
 
     /** The single-memory-word global fallback lock (Section 3). */
     std::uint64_t lockWord_ = 0;

@@ -35,6 +35,9 @@ struct TxStats
     std::uint64_t irrevocableCommits = 0;
     /** Constrained-transaction commits (zEC12). */
     std::uint64_t constrainedCommits = 0;
+    /** Transactions committed on the software slow path (hybrid
+     *  backend, stm.hh). */
+    std::uint64_t stmCommits = 0;
     /** Aborts as classified through the machine's reason codes. */
     std::array<std::uint64_t, numAbortCategories> reportedAborts{};
     /** Aborts by model-internal true cause. */
@@ -58,6 +61,12 @@ struct TxStats
     /** Wasted work: attempt start -> rollback completion of aborted
      *  attempts, including the abort penalty. */
     std::uint64_t wastedTxCycles = 0;
+    /** Useful work on the software slow path: begin -> commit of
+     *  committed software attempts, instrumentation included. */
+    std::uint64_t committedStmCycles = 0;
+    /** Wasted work on the software slow path: begin -> rollback of
+     *  aborted software attempts. */
+    std::uint64_t wastedStmCycles = 0;
     /** Fallback work: global-lock hold time of irrevocable sections
      *  (body + lock release). */
     std::uint64_t fallbackCycles = 0;
@@ -102,7 +111,8 @@ struct TxStats
 
     std::uint64_t totalCommits() const
     {
-        return htmCommits + irrevocableCommits + constrainedCommits;
+        return htmCommits + irrevocableCommits + constrainedCommits +
+               stmCommits;
     }
 
     /** Aborts injected outright by the hazard layer. */
@@ -122,7 +132,7 @@ struct TxStats
     abortRatio() const
     {
         const std::uint64_t attempts = totalAborts() + htmCommits +
-                                       constrainedCommits;
+                                       constrainedCommits + stmCommits;
         return attempts == 0 ? 0.0 :
                double(totalAborts()) / double(attempts);
     }
@@ -150,10 +160,10 @@ struct TxStats
     wastedWorkRatio() const
     {
         const std::uint64_t useful =
-            committedTxCycles + fallbackCycles;
-        const std::uint64_t total = useful + wastedTxCycles;
-        return total == 0 ? 0.0 :
-               double(wastedTxCycles) / double(total);
+            committedTxCycles + committedStmCycles + fallbackCycles;
+        const std::uint64_t wasted = wastedTxCycles + wastedStmCycles;
+        const std::uint64_t total = useful + wasted;
+        return total == 0 ? 0.0 : double(wasted) / double(total);
     }
 
     double
@@ -171,6 +181,7 @@ struct TxStats
         htmCommits += other.htmCommits;
         irrevocableCommits += other.irrevocableCommits;
         constrainedCommits += other.constrainedCommits;
+        stmCommits += other.stmCommits;
         for (std::size_t i = 0; i < reportedAborts.size(); ++i)
             reportedAborts[i] += other.reportedAborts[i];
         for (std::size_t i = 0; i < trueCauseAborts.size(); ++i)
@@ -181,6 +192,8 @@ struct TxStats
         specIdReclaims += other.specIdReclaims;
         committedTxCycles += other.committedTxCycles;
         wastedTxCycles += other.wastedTxCycles;
+        committedStmCycles += other.committedStmCycles;
+        wastedStmCycles += other.wastedStmCycles;
         fallbackCycles += other.fallbackCycles;
         lockWaitCycles += other.lockWaitCycles;
         backoffCycles += other.backoffCycles;

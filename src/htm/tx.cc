@@ -74,6 +74,11 @@ Tx::loadWord(const void* addr, std::size_t size)
         return readMemory(addr, size);
     }
 
+    if (status_ == TxStatus::software) {
+        // Hybrid backend's STM slow path: orec-validated read (stm.cc).
+        return stmLoadWord(addr, size);
+    }
+
     assert(status_ == TxStatus::active || status_ == TxStatus::doomed);
     runtime_->stats_[tid_].txLoads++;
 
@@ -165,6 +170,13 @@ Tx::storeWord(void* addr, std::size_t size, std::uint64_t value)
         ctx_->sync();
         bufferStore(uaddr, size, value);
         touchCapacityLine(uaddr, true);
+        return;
+    }
+
+    if (status_ == TxStatus::software) {
+        // Hybrid backend's STM slow path: buffered write with orec
+        // logging (stm.cc).
+        stmStoreWord(addr, size, value);
         return;
     }
 
@@ -380,8 +392,30 @@ Tx::allocBytes(std::size_t bytes)
     // the doom is only acted on at the next checkDoom() below.
     assert(status_ == TxStatus::active ||
            status_ == TxStatus::rollbackOnly ||
+           status_ == TxStatus::software ||
            status_ == TxStatus::doomed);
     speculativeAllocs_.push_back({memory, bytes});
+
+    if (status_ == TxStatus::software) {
+        // The software path constructs objects in place (their memory
+        // is private until publication), but the NodePool recycles
+        // addresses: a hardware peer may still be tracking the freed
+        // object that lived here. Evict such stale readers/writers
+        // exactly as a non-transactional store would — the call also
+        // stamps the orecs through the hybrid instrumentation gate,
+        // so stale software readers revalidate too.
+        const MachineConfig& machine = runtime_->machine();
+        const auto base = std::uintptr_t(memory);
+        for (std::uintptr_t offset = 0; offset < bytes;
+             offset += machine.capacityLineBytes) {
+            ctx_->advance(machine.nonTxStoreCost +
+                          runtime_->config_.hybrid.stmAccessOverhead);
+            runtime_->nonTxConflict(tid_, base + offset, true,
+                                    ctx_->now());
+        }
+        ctx_->sync();
+        return memory;
+    }
 
     // Initializing stores are transactional on real HTM: charge the
     // object's lines to the write footprint and claim them in the
@@ -404,11 +438,13 @@ void
 Tx::deallocBytes(void* ptr, std::size_t bytes)
 {
     if (status_ == TxStatus::irrevocable) {
+        runtime_->stmOnFree(ptr, bytes);
         NodePool::instance().free(ptr, bytes);
         return;
     }
     assert(status_ == TxStatus::active ||
-           status_ == TxStatus::rollbackOnly);
+           status_ == TxStatus::rollbackOnly ||
+           status_ == TxStatus::software);
     deferredFrees_.push_back({ptr, bytes});
 }
 
@@ -448,6 +484,7 @@ Tx::resetAttemptState()
     conflictLog_.clear();
     capacityLines_.clear();
     storeSetLines_.clear();
+    stmOrecs_.clear();
     memoReadConflictLine_ = noLine;
     memoReadCapacityLine_ = noLine;
     memoWriteConflictLine_ = noLine;

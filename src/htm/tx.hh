@@ -41,6 +41,7 @@ enum class TxStatus : std::uint8_t
     doomed,       ///< aborted by a peer; unwinds at the next tx event
     irrevocable,  ///< running under the global lock
     rollbackOnly, ///< POWER8 ROT: buffering without conflict detection
+    software,     ///< hybrid backend's STM slow path (stm.hh)
 };
 
 /**
@@ -174,6 +175,12 @@ class Tx
     std::uint64_t loadWord(const void* addr, std::size_t size);
     void storeWord(void* addr, std::size_t size, std::uint64_t value);
 
+    /// Software-path access slow paths (hybrid backend; stm.cc):
+    /// orec-checked read / buffered write with orec logging.
+    std::uint64_t stmLoadWord(const void* addr, std::size_t size);
+    void stmStoreWord(void* addr, std::size_t size,
+                      std::uint64_t value);
+
     /// Insert/overwrite a buffered speculative store, logging new
     /// addresses for the commit-time write-back walk.
     void bufferStore(std::uintptr_t uaddr, std::size_t size,
@@ -245,6 +252,15 @@ class Tx
     std::uint32_t loadLines_ = 0;
     std::uint32_t storeLines_ = 0;
     std::uint32_t opCount_ = 0;
+
+    /// Software path (hybrid backend): orecs touched this attempt
+    /// (bit0 = read, bit1 = written), the read-version snapshot, and
+    /// the clock epoch / clock-cell snapshot taken at begin. Plain
+    /// members, allocated for every backend (determinism contract).
+    FlatTable<std::uint8_t> stmOrecs_;
+    std::uint64_t stmRv_ = 0;
+    std::uint64_t stmEpoch_ = 0;
+    std::uint64_t stmClockSnap_ = 0;
 
     std::vector<AllocRecord> speculativeAllocs_;
     std::vector<AllocRecord> deferredFrees_;

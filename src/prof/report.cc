@@ -75,6 +75,11 @@ writeProfileJson(std::ostream& out, const RunInfo& info,
         << info.stats.committedTxCycles << ",\n";
     out << "    \"wastedTxCycles\": " << info.stats.wastedTxCycles
         << ",\n";
+    out << "    \"stmCommits\": " << info.stats.stmCommits << ",\n";
+    out << "    \"committedStmCycles\": "
+        << info.stats.committedStmCycles << ",\n";
+    out << "    \"wastedStmCycles\": " << info.stats.wastedStmCycles
+        << ",\n";
     out << "    \"fallbackCycles\": " << info.stats.fallbackCycles
         << ",\n";
     out << "    \"lockWaitCycles\": " << info.stats.lockWaitCycles

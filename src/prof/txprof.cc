@@ -266,9 +266,12 @@ main(int argc, char** argv)
         backend = htm::BackendKind::globalLock;
     } else if (backend_name == "ideal") {
         backend = htm::BackendKind::idealHtm;
+    } else if (backend_name == "hybrid") {
+        backend = htm::BackendKind::hybrid;
     } else {
         std::fprintf(stderr,
-                     "unknown backend '%s' (use htm|lock|ideal)\n",
+                     "unknown backend '%s' (use "
+                     "htm|lock|ideal|hybrid)\n",
                      backend_name.c_str());
         return 1;
     }

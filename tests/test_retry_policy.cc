@@ -350,4 +350,151 @@ TEST(MakeRetryPolicy, SelectsTheMachineMechanism)
     EXPECT_FALSE(fig1->lazySubscription());
 }
 
+// ---- hybrid escalation ------------------------------------------------
+
+using Decision = HybridRetryPolicy::Decision;
+
+/// A bound hybrid policy over Figure 1 with the given budgets.
+struct HybridHarness
+{
+    Fig1ThreeCounterPolicy base;
+    HybridRetryPolicy hybrid;
+
+    explicit HybridHarness(RetryCounts counts,
+                           HybridRetryPolicy::Tuning tuning = {})
+        : base(counts)
+    {
+        hybrid.bind(&base, tuning);
+        hybrid.beginSection();
+    }
+};
+
+TEST(HybridRetryPolicy, PersistentCausesEscalateToStmWithoutDrainingBudgets)
+{
+    HybridHarness h({4, 1, 8});
+    // Capacity and way conflicts go straight to the software path —
+    // the hardware said retrying is futile — and do so repeatedly
+    // without touching the base persistent budget of one.
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::capacityOverflow, false),
+              Decision::fallbackStm);
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::wayConflict, false),
+              Decision::fallbackStm);
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::capacityOverflow, false),
+              Decision::fallbackStm);
+    // The transient budget is untouched by the fast path.
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::dataConflict, false),
+              Decision::retryHtm);
+}
+
+TEST(HybridRetryPolicy, TransientExhaustionFallsBackToStmNotLock)
+{
+    HybridHarness h({4, 1, 8});
+    // The base transient budget of eight allows seven retries; the
+    // eighth abort exhausts it and lands on the software path, never
+    // directly on the lock.
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::dataConflict, false),
+                  Decision::retryHtm)
+            << "abort " << i;
+    }
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::dataConflict, false),
+              Decision::fallbackStm);
+}
+
+TEST(HybridRetryPolicy, LockHeldAbortsChargeTheLockCounter)
+{
+    HybridHarness h({2, 1, 8});
+    // With the lock held, even a persistent cause skips the
+    // straight-to-software fast path (the software commit would just
+    // stall on the same lock) and is charged to the base lock
+    // counter: two budgeted attempts, then software.
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::capacityOverflow, true),
+              Decision::retryHtm);
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::capacityOverflow, true),
+              Decision::fallbackStm);
+}
+
+TEST(HybridRetryPolicy, StmAttemptsBoundThenLock)
+{
+    HybridHarness h({4, 1, 8});
+    // Default stmAttempts = 3: two software failures re-enter the
+    // software path, the third goes irrevocable.
+    EXPECT_EQ(h.hybrid.onStmAbort(AbortCause::stmConflict),
+              Decision::fallbackStm);
+    EXPECT_EQ(h.hybrid.onStmAbort(AbortCause::stmConflict),
+              Decision::fallbackStm);
+    EXPECT_EQ(h.hybrid.onStmAbort(AbortCause::stmConflict),
+              Decision::fallbackLock);
+}
+
+TEST(HybridRetryPolicy, BeginSectionRearmsTheStmBudget)
+{
+    HybridHarness h({4, 1, 8});
+    for (int i = 0; i < 2; ++i)
+        h.hybrid.onStmAbort(AbortCause::stmConflict);
+    EXPECT_EQ(h.hybrid.onStmAbort(AbortCause::stmConflict),
+              Decision::fallbackLock);
+
+    h.hybrid.beginSection();
+    EXPECT_EQ(h.hybrid.onStmAbort(AbortCause::stmConflict),
+              Decision::fallbackStm);
+}
+
+TEST(HybridRetryPolicy, DisabledStmMirrorsTheBasePolicyExactly)
+{
+    HybridRetryPolicy::Tuning tuning;
+    tuning.stmEnabled = false;
+    HybridHarness h({4, 1, 8}, tuning);
+    // With the software path off every decision is the base policy's:
+    // persistent budget of one refuses at once, transient exhaustion
+    // lands on the lock, never on software.
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::capacityOverflow, false),
+              Decision::fallbackLock);
+    h.hybrid.beginSection();
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::dataConflict, false),
+                  Decision::retryHtm)
+            << "abort " << i;
+    }
+    EXPECT_EQ(h.hybrid.onHtmAbort(AbortCause::dataConflict, false),
+              Decision::fallbackLock);
+    EXPECT_FALSE(h.hybrid.softwareFirst());
+}
+
+TEST(HybridRetryPolicy, SoftwareFirstOnlyWhenStmOnly)
+{
+    HybridRetryPolicy::Tuning stm_only;
+    stm_only.stmOnly = true;
+    HybridHarness a({4, 1, 8}, stm_only);
+    EXPECT_TRUE(a.hybrid.softwareFirst());
+
+    // stmOnly without stmEnabled is a contradiction resolved in favor
+    // of the master switch: hardware-or-lock only.
+    stm_only.stmEnabled = false;
+    HybridHarness b({4, 1, 8}, stm_only);
+    EXPECT_FALSE(b.hybrid.softwareFirst());
+}
+
+TEST(HybridRetryPolicy, HardenedWatchdogStillBoundsHardwareAttempts)
+{
+    // Layered over the hardened policy, the watchdog bound survives:
+    // effectively unlimited budgets still yield at most
+    // watchdogAttempts hardware attempts before the section leaves
+    // for the software path (not the lock — the hybrid driver owns
+    // the ultimate fallback).
+    HardenedRetryPolicy base({100, 100, 100});
+    HybridRetryPolicy hybrid;
+    hybrid.bind(&base, {});
+    hybrid.beginSection();
+    int retries = 0;
+    while (hybrid.onHtmAbort(AbortCause::dataConflict, false) ==
+           Decision::retryHtm)
+        ++retries;
+    EXPECT_EQ(retries, HardenedRetryPolicy::watchdogAttempts - 1);
+    EXPECT_EQ(hybrid.onHtmAbort(AbortCause::dataConflict, false),
+              Decision::fallbackStm);
+    // And the hybrid layer forwards the hardened backoff request.
+    EXPECT_TRUE(hybrid.deterministicBackoff());
+}
+
 } // namespace
