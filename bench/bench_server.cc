@@ -19,9 +19,13 @@
  * of magnitude — the experiment EXPERIMENTS.md Section "Server tail
  * latency" discusses.
  *
- * Usage: bench_server [--smoke] [-o OUT.json]
+ * Usage: bench_server [--smoke] [--index-lock MODE] [-o OUT.json]
  *   --smoke: one machine (Intel), 64 clients, short horizon — the CI
  *            quick-workflow variant.
+ *   --index-lock elided|tatas|none: guard ordered-index range scans
+ *            (shared) and index-mutating put/rmw (exclusive) with a
+ *            tmsync::atomic_shared_mutex in the given mode; "none"
+ *            (the default) is the plain TM-only server.
  */
 
 #include <cstdio>
@@ -109,13 +113,24 @@ main(int argc, char** argv)
 {
     const char* output_path = "BENCH_server.json";
     bool smoke = false;
+    server::IndexLockMode index_lock = server::IndexLockMode::none;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
+        if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
-        else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+        } else if (std::strcmp(argv[i], "--index-lock") == 0 &&
+                   i + 1 < argc) {
+            if (!server::parseIndexLockMode(argv[++i], index_lock)) {
+                std::fprintf(stderr,
+                             "unknown --index-lock mode '%s' "
+                             "(accepted: none elided tatas)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
             output_path = argv[++i];
-        else
+        } else {
             output_path = argv[i];
+        }
     }
 
     const std::uint64_t seed = 1;
@@ -163,6 +178,7 @@ main(int argc, char** argv)
                     config.traffic.meanInterarrivalCycles =
                         std::uint64_t(256) * clients;
                     config.seed = seed;
+                    config.indexLock = index_lock;
                     prof::TxProfiler profiler;
                     config.observer = &profiler;
 
@@ -216,9 +232,11 @@ main(int argc, char** argv)
                  "  \"seed\": %llu,\n"
                  "  \"ops_per_client\": %u,\n"
                  "  \"smoke\": %s,\n"
+                 "  \"index_lock\": \"%s\",\n"
                  "  \"runs\": [\n",
                  (unsigned long long)seed, ops_per_client,
-                 smoke ? "true" : "false");
+                 smoke ? "true" : "false",
+                 server::indexLockModeName(index_lock));
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const RunRow& row = rows[i];
         const server::ServerResult& r = row.result;
@@ -234,6 +252,8 @@ main(int argc, char** argv)
             "     \"abort_ratio\": %.4f, "
             "\"serialization_ratio\": %.4f, "
             "\"invariants_ok\": %s,\n"
+            "     \"index_guard_sections\": %llu, "
+            "\"index_guard_elided\": %llu,\n"
             "     \"sites\": [",
             row.machine.c_str(), row.backend.c_str(),
             row.profile.c_str(), row.clients,
@@ -246,7 +266,9 @@ main(int argc, char** argv)
             (unsigned long long)r.latency.max(),
             (unsigned long long)r.queueDelay.percentile(0.99),
             r.stats.abortRatio(), r.stats.serializationRatio(),
-            r.invariantsOk ? "true" : "false");
+            r.invariantsOk ? "true" : "false",
+            (unsigned long long)r.indexGuardSections,
+            (unsigned long long)r.indexGuardElided);
         for (std::size_t s = 0; s < row.topSites.size(); ++s) {
             const prof::SiteProfile& site = row.topSites[s];
             std::fprintf(

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Sync-library benchmark: elision vs. TATAS vs. global lock across the
+ * adversarial tmsync contention scenarios.
+ *
+ * Sweeps the four machine models x five scenarios (reader_heavy,
+ * lock_convoy, mixed_waiters, shared_scan, ping_pong) x three lock
+ * modes (elided, tatas, global-lock; ping_pong skips global-lock —
+ * condvar wait cannot release a mutex the guard never acquired) and
+ * reports guarded-section throughput, the fraction of sections that
+ * committed on the speculative path, and the abort/serialization
+ * ratios. Every cell runs under the liveness oracle (LivenessChecker)
+ * with a txprof profiler riding along behind it, so the JSON can
+ * attribute each mode's cycles to the scenario's transaction sites —
+ * where the reader_heavy crossover comes from is a txprof question,
+ * not a guess (EXPERIMENTS.md, "Sync-library elision").
+ *
+ * Usage: bench_sync [--smoke] [--seeds K] [-o OUT.json]
+ *   --smoke:   one machine (Intel), short horizon — the CI
+ *              quick-workflow variant.
+ *   --seeds K: repeat every cell for seeds 1..K (one JSON row each).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/liveness.hh"
+#include "htm/machine.hh"
+#include "prof/profiler.hh"
+#include "tmsync/scenarios.hh"
+
+namespace
+{
+
+using namespace htmsim;
+
+struct RunRow
+{
+    std::string machine;
+    const char* scenario = "";
+    const char* mode = "";
+    std::uint64_t seed = 1;
+    tmsync::ScenarioResult result;
+    bool livenessOk = true;
+    std::string livenessError;
+    std::vector<prof::SiteProfile> topSites;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* output_path = "BENCH_sync.json";
+    bool smoke = false;
+    unsigned num_seeds = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc)
+            num_seeds = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+            output_path = argv[++i];
+        else
+            output_path = argv[i];
+    }
+    if (num_seeds == 0)
+        num_seeds = 1;
+
+    const unsigned threads = smoke ? 4 : 8;
+    const unsigned ops_per_thread = smoke ? 40 : 200;
+    const std::vector<tmsync::SyncMode> modes = {
+        tmsync::SyncMode::elided, tmsync::SyncMode::tatas,
+        tmsync::SyncMode::globalLock};
+    std::vector<htm::MachineConfig> machines;
+    if (smoke) {
+        machines.push_back(htm::MachineConfig::intelCore());
+    } else {
+        for (const htm::MachineConfig& machine :
+             htm::MachineConfig::all())
+            machines.push_back(machine);
+    }
+
+    std::printf("%-22s %-14s %-12s %6s %9s %8s %8s %8s\n", "machine",
+                "scenario", "mode", "seed", "thru/kcyc", "sections",
+                "elided%", "abort%");
+
+    std::vector<RunRow> rows;
+    unsigned liveness_failures = 0;
+    for (const htm::MachineConfig& machine : machines) {
+        for (unsigned s = 0; s < tmsync::numScenarios; ++s) {
+            const tmsync::Scenario scenario =
+                tmsync::allScenarios()[s];
+            for (const tmsync::SyncMode mode : modes) {
+                if (!tmsync::scenarioSupportsMode(scenario, mode))
+                    continue;
+                for (std::uint64_t seed = 1; seed <= num_seeds;
+                     ++seed) {
+                    tmsync::ScenarioConfig config;
+                    config.runtime = htm::RuntimeConfig(machine);
+                    config.scenario = scenario;
+                    config.mode = mode;
+                    config.threads = threads;
+                    config.opsPerThread = ops_per_thread;
+                    config.seed = seed;
+                    prof::TxProfiler profiler;
+                    check::LivenessChecker liveness(
+                        threads, check::LivenessOptions{}, &profiler);
+                    config.observer = &liveness;
+
+                    RunRow row;
+                    row.machine = machine.name;
+                    row.scenario = tmsync::scenarioName(scenario);
+                    row.mode = tmsync::syncModeName(mode);
+                    row.seed = seed;
+                    try {
+                        row.result = tmsync::runScenario(config);
+                    } catch (const check::LivenessViolation& e) {
+                        row.livenessOk = false;
+                        row.livenessError = e.what();
+                        ++liveness_failures;
+                    }
+
+                    const prof::ProfileReport report =
+                        profiler.report();
+                    const std::size_t keep =
+                        report.sites.size() < 5 ? report.sites.size()
+                                                : 5;
+                    row.topSites.assign(report.sites.begin(),
+                                        report.sites.begin() + keep);
+
+                    const tmsync::ScenarioResult& r = row.result;
+                    const double elided_pct =
+                        r.sections == 0 ? 0.0 :
+                        double(r.elidedSections) * 100.0 /
+                            double(r.sections);
+                    std::printf(
+                        "%-22s %-14s %-12s %6llu %9.3f %8llu %7.1f%% "
+                        "%7.1f%%%s\n",
+                        row.machine.c_str(), row.scenario, row.mode,
+                        (unsigned long long)seed,
+                        r.throughputPerKcycle(),
+                        (unsigned long long)r.sections, elided_pct,
+                        r.stats.abortRatio() * 100.0,
+                        row.livenessOk ? "" : "  [LIVENESS]");
+                    std::fflush(stdout);
+                    rows.push_back(std::move(row));
+                }
+            }
+        }
+    }
+
+    // Headline sanity: on every elision-capable machine, the elided
+    // reader_heavy cell should beat its TATAS sibling (elided readers
+    // never write the lock word; TATAS readers pay two CASes per
+    // section). Counted into the JSON, not fatal: the crossover claim
+    // lives in the tests, the bench just reports it.
+    unsigned reader_heavy_cells = 0;
+    unsigned reader_heavy_elision_wins = 0;
+    for (const htm::MachineConfig& machine : machines) {
+        if (!machine.supportsElision())
+            continue;
+        double elided_thru = 0.0;
+        double tatas_thru = 0.0;
+        for (const RunRow& row : rows) {
+            if (row.machine != machine.name ||
+                std::strcmp(row.scenario, "reader_heavy") != 0)
+                continue;
+            if (std::strcmp(row.mode, "elided") == 0)
+                elided_thru += row.result.throughputPerKcycle();
+            else if (std::strcmp(row.mode, "tatas") == 0)
+                tatas_thru += row.result.throughputPerKcycle();
+        }
+        ++reader_heavy_cells;
+        if (elided_thru > tatas_thru)
+            ++reader_heavy_elision_wins;
+        std::printf("reader_heavy crossover %-22s elided %.3f %s "
+                    "tatas %.3f /kcyc\n",
+                    machine.name.c_str(),
+                    elided_thru / double(num_seeds),
+                    elided_thru > tatas_thru ? ">" : "<=",
+                    tatas_thru / double(num_seeds));
+    }
+
+    std::FILE* out = std::fopen(output_path, "w");
+    if (out == nullptr) {
+        std::perror(output_path);
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"schema\": \"htmsim-bench-sync-v1\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"ops_per_thread\": %u,\n"
+                 "  \"seeds\": %u,\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"runs\": [\n",
+                 threads, ops_per_thread, num_seeds,
+                 smoke ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunRow& row = rows[i];
+        const tmsync::ScenarioResult& r = row.result;
+        std::fprintf(
+            out,
+            "    {\"machine\": \"%s\", \"scenario\": \"%s\", "
+            "\"mode\": \"%s\", \"seed\": %llu,\n"
+            "     \"sections\": %llu, \"elided_sections\": %llu, "
+            "\"horizon_cycles\": %llu, "
+            "\"throughput_per_kcycle\": %.4f,\n"
+            "     \"abort_ratio\": %.4f, "
+            "\"serialization_ratio\": %.4f, "
+            "\"checksum\": \"%016llx\", \"liveness_ok\": %s,\n"
+            "     \"sites\": [",
+            row.machine.c_str(), row.scenario, row.mode,
+            (unsigned long long)row.seed,
+            (unsigned long long)r.sections,
+            (unsigned long long)r.elidedSections,
+            (unsigned long long)r.horizonCycles,
+            r.throughputPerKcycle(), r.stats.abortRatio(),
+            r.stats.serializationRatio(),
+            (unsigned long long)r.checksum,
+            row.livenessOk ? "true" : "false");
+        for (std::size_t s = 0; s < row.topSites.size(); ++s) {
+            const prof::SiteProfile& site = row.topSites[s];
+            std::fprintf(
+                out,
+                "%s\n       {\"site\": \"%s\", \"attempts\": %llu, "
+                "\"commits\": %llu, \"aborts\": %llu, "
+                "\"fallbacks\": %llu, \"committed_cycles\": %llu, "
+                "\"wasted_cycles\": %llu, \"stall_cycles\": %llu, "
+                "\"lock_wait_cycles\": %llu}",
+                s == 0 ? "" : ",", site.name.c_str(),
+                (unsigned long long)site.attempts,
+                (unsigned long long)site.commits,
+                (unsigned long long)site.aborts,
+                (unsigned long long)site.fallbackCommits,
+                (unsigned long long)site.committedCycles,
+                (unsigned long long)site.wastedCycles,
+                (unsigned long long)site.stallCycles,
+                (unsigned long long)site.lockWaitCycles);
+        }
+        std::fprintf(out, "]}%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"checks\": {\"liveness_failures\": %u, "
+                 "\"reader_heavy_cells\": %u, "
+                 "\"reader_heavy_elision_wins\": %u}\n"
+                 "}\n",
+                 liveness_failures, reader_heavy_cells,
+                 reader_heavy_elision_wins);
+    std::fclose(out);
+
+    std::printf("\nliveness failures: %u -> %s\n", liveness_failures,
+                output_path);
+    return liveness_failures == 0 ? 0 : 1;
+}

@@ -104,6 +104,9 @@ main(int argc, char** argv)
             batch = false;
         } else if (arg == "--threads") {
             threads_override = unsigned(std::atoi(value()));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();

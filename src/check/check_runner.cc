@@ -119,6 +119,10 @@ usage(std::FILE* out)
         "  --seed S --workload W --machine M --schedule \"t:i:d,...\"\n"
         "misc:\n"
         "  --list             list workloads and machines\n");
+    std::fprintf(out, "accepted --workloads values: all");
+    for (const WorkloadFactory& factory : allWorkloads())
+        std::fprintf(out, ",%s", factory.name);
+    std::fprintf(out, "\naccepted --policy values: default,hardened\n");
 }
 
 struct Args
@@ -424,8 +428,12 @@ main(int argc, char** argv)
         for (const std::string& token : splitList(args.workloads)) {
             const WorkloadFactory* factory = findWorkload(token);
             if (factory == nullptr) {
-                std::fprintf(stderr, "unknown workload '%s'\n",
+                std::fprintf(stderr,
+                             "unknown workload '%s' (accepted: all",
                              token.c_str());
+                for (const WorkloadFactory& known : allWorkloads())
+                    std::fprintf(stderr, ",%s", known.name);
+                std::fprintf(stderr, ")\n");
                 return 2;
             }
             workloads.push_back(factory);

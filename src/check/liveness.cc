@@ -28,6 +28,7 @@ LivenessChecker::onEvent(const htm::TxEvent& event)
         break;
     case htm::TxEventKind::commit:
     case htm::TxEventKind::fallbackCommit:
+    case htm::TxEventKind::nonSpecCommit:
         self.open = false;
         ++globalCommits_;
         break;
@@ -117,14 +118,20 @@ runLiveness(const WorkloadFactory& workload,
     LivenessChecker checker(threads, liveness, &ring);
     runtime.setObserver(&checker);
 
+    const bool selfDriven = concurrent->selfDriven();
     for (unsigned tid = 0; tid < threads; ++tid) {
         scheduler.spawn([&, tid](sim::ThreadContext& ctx) {
             for (unsigned i = 0; i < ops; ++i) {
-                static const htm::TxSiteId opSite =
-                    htm::txSite("check.concurrentOp");
-                runtime.atomic(ctx, opSite, [&](htm::Tx& tx) {
-                    (void) concurrent->apply(tx, tid, i);
-                });
+                if (selfDriven) {
+                    (void) concurrent->applyDirect(runtime, ctx, tid,
+                                                   i);
+                } else {
+                    static const htm::TxSiteId opSite =
+                        htm::txSite("check.concurrentOp");
+                    runtime.atomic(ctx, opSite, [&](htm::Tx& tx) {
+                        (void) concurrent->apply(tx, tid, i);
+                    });
+                }
             }
         });
     }

@@ -42,7 +42,8 @@ class CheckObserver final : public htm::TxObserver
     {
         ring.onEvent(event);
         if (event.kind == htm::TxEventKind::commit ||
-            event.kind == htm::TxEventKind::fallbackCommit) {
+            event.kind == htm::TxEventKind::fallbackCommit ||
+            event.kind == htm::TxEventKind::nonSpecCommit) {
             commitOrder.push_back(event.tid);
         }
     }
@@ -97,15 +98,24 @@ runDifferential(const WorkloadFactory& workload,
 
     std::vector<std::vector<std::uint64_t>> results(
         threads, std::vector<std::uint64_t>(ops, 0));
+    const bool selfDriven = concurrent->selfDriven();
     for (unsigned tid = 0; tid < threads; ++tid) {
         scheduler.spawn([&, tid](sim::ThreadContext& ctx) {
             for (unsigned i = 0; i < ops; ++i) {
                 std::uint64_t result = 0;
-                static const htm::TxSiteId opSite =
-                    htm::txSite("check.concurrentOp");
-                runtime.atomic(ctx, opSite, [&](htm::Tx& tx) {
-                    result = concurrent->apply(tx, tid, i);
-                });
+                if (selfDriven) {
+                    // The workload stages its own atomic sections
+                    // (lock-elision protocols); each op's closing
+                    // event is its serialization point.
+                    result =
+                        concurrent->applyDirect(runtime, ctx, tid, i);
+                } else {
+                    static const htm::TxSiteId opSite =
+                        htm::txSite("check.concurrentOp");
+                    runtime.atomic(ctx, opSite, [&](htm::Tx& tx) {
+                        result = concurrent->apply(tx, tid, i);
+                    });
+                }
                 results[tid][i] = result;
             }
         });
@@ -182,11 +192,20 @@ runDifferential(const WorkloadFactory& workload,
         for (const unsigned tid : observer.commitOrder) {
             const unsigned i = cursor[tid]++;
             std::uint64_t result = 0;
-            static const htm::TxSiteId replaySite =
-                htm::txSite("check.serialReplay");
-            lock_runtime.atomic(ctx, replaySite, [&](htm::Tx& tx) {
-                result = reference->apply(tx, tid, i);
-            });
+            if (selfDriven) {
+                // Single-threaded, so the lock protocols trivially
+                // succeed; only the op's semantic effect matters. The
+                // workload indexes its op streams by (tid, i) but must
+                // address the runtime through ctx (one replay thread).
+                result = reference->applyDirect(lock_runtime, ctx,
+                                                tid, i);
+            } else {
+                static const htm::TxSiteId replaySite =
+                    htm::txSite("check.serialReplay");
+                lock_runtime.atomic(ctx, replaySite, [&](htm::Tx& tx) {
+                    result = reference->apply(tx, tid, i);
+                });
+            }
             if (divergence.empty() && result != results[tid][i]) {
                 divergence = "t" + std::to_string(tid) + " op " +
                              std::to_string(i) +

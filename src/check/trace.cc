@@ -90,6 +90,16 @@ checkTraceInvariants(const std::vector<TxEvent>& events,
                 return "fallback commit without holding the lock" +
                        where;
             break;
+          case TxEventKind::nonSpecCommit:
+            // Serialization point of a non-speculative section under a
+            // caller-provided (per-object) lock; the global fallback
+            // lock is uninvolved, but a live transactional attempt on
+            // the same thread would mean irrevocability leaked into a
+            // speculative section.
+            if (active[tid])
+                return "non-speculative commit with a live "
+                       "transactional attempt" + where;
+            break;
         }
     }
 

@@ -1,5 +1,7 @@
 #include "workload.hh"
 
+#include <array>
+
 #include "htm/context.hh"
 #include "htm/tx.hh"
 #include "server/kv_store.hh"
@@ -12,6 +14,9 @@
 #include "tmds/tm_list.hh"
 #include "tmds/tm_queue.hh"
 #include "tmds/tm_rbtree.hh"
+#include "tmsync/atomic_mutex.hh"
+#include "tmsync/atomic_shared_mutex.hh"
+#include "tmsync/guard.hh"
 
 namespace htmsim::check
 {
@@ -559,6 +564,176 @@ class ServerWorkload final : public TableWorkload
     server::KvStore store_;
 };
 
+/**
+ * The tmsync lock-elision protocols under the oracle. Self-driven:
+ * every op stages its own guarded section (guard.hh) over striped
+ * mutex- and shared-mutex-protected payloads, randomly mixing elided
+ * and deliberately non-elided (TATAS) acquisitions so each run
+ * exercises both directions of the elision/real mutual-exclusion
+ * argument. The serialization order the oracle replays is the order
+ * of closing events (commit for elided sections, nonSpecCommit for
+ * real-lock sections) — which is correct because sections on the same
+ * stripe exclude each other both ways: an elided attempt aborts on a
+ * nonzero word, and a real acquisition's CAS dooms every elided
+ * subscriber through strong isolation. The condition variable is
+ * deliberately absent: precomputed op streams cannot guarantee a
+ * waiter is ever notified (covered by test_tmsync.cc and the
+ * ping_pong scenario instead).
+ */
+class SyncWorkload final : public TableWorkload
+{
+  public:
+    SyncWorkload(std::uint64_t seed, unsigned threads,
+                 unsigned ops_per_thread)
+    {
+        buildOps(seed, threads, ops_per_thread, [](sim::Rng& rng) {
+            const std::uint64_t pick = rng.nextRange(100);
+            // Bit 8 of `a` selects the acquisition mode per op.
+            const std::uint64_t elide = rng.nextRange(2) << 8;
+            const std::uint64_t value = rng.nextU64() >> 8;
+            if (pick < 45)
+                return Op{0, (pick % numMutexStripes) | elide, value};
+            if (pick < 80)
+                return Op{1, (pick % numSharedStripes) | elide, value};
+            return Op{2, (pick % numSharedStripes) | elide, value};
+        });
+    }
+
+    bool selfDriven() const override { return true; }
+
+    std::uint64_t
+    applyDirect(htm::Runtime& runtime, sim::ThreadContext& ctx,
+                unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        const SyncMode mode = (o.a & 0x100) != 0 ? SyncMode::elided :
+                                                   SyncMode::tatas;
+        const std::uint64_t stripe = o.a & 0xff;
+        std::uint64_t result = 0;
+        switch (o.kind) {
+          case 0: {
+            static const htm::TxSiteId site =
+                htm::txSite("check.sync.mutex");
+            MutexStripe& s = mutexes_[stripe];
+            tmsync::transactional_lock_guard guard(
+                runtime, ctx, s.mutex, site, mode, [&](htm::Tx& tx) {
+                    result = applyMutexOp(tx, s, o);
+                });
+            return result;
+          }
+          case 1: {
+            static const htm::TxSiteId site =
+                htm::txSite("check.sync.read");
+            SharedStripe& s = shared_[stripe];
+            tmsync::transactional_shared_lock_guard guard(
+                runtime, ctx, s.rw, site, mode, [&](htm::Tx& tx) {
+                    result = applyReadOp(tx, s, o);
+                });
+            return result;
+          }
+          default: {
+            static const htm::TxSiteId site =
+                htm::txSite("check.sync.write");
+            SharedStripe& s = shared_[stripe];
+            tmsync::transactional_lock_guard guard(
+                runtime, ctx, s.rw, site, mode, [&](htm::Tx& tx) {
+                    result = applyWriteOp(tx, s, o);
+                });
+            return result;
+          }
+        }
+    }
+
+    /** Bare op semantics (no lock protocol); the oracle never calls
+     *  this — applyDirect() is the self-driven entry point. */
+    std::uint64_t
+    apply(htm::Tx& tx, unsigned tid, unsigned op) override
+    {
+        const Op& o = opAt(tid, op);
+        const std::uint64_t stripe = o.a & 0xff;
+        switch (o.kind) {
+          case 0:
+            return applyMutexOp(tx, mutexes_[stripe], o);
+          case 1:
+            return applyReadOp(tx, shared_[stripe], o);
+          default:
+            return applyWriteOp(tx, shared_[stripe], o);
+        }
+    }
+
+    std::uint64_t
+    fingerprint() override
+    {
+        std::uint64_t h = 0x8a5eedULL;
+        for (const MutexStripe& s : mutexes_) {
+            h = foldHash(h, s.counter);
+            for (const std::uint64_t slot : s.slots)
+                h = foldHash(h, slot);
+        }
+        for (const SharedStripe& s : shared_) {
+            h = foldHash(h, s.generation);
+            for (const std::uint64_t cell : s.cells)
+                h = foldHash(h, cell);
+        }
+        return h;
+    }
+
+  private:
+    using SyncMode = tmsync::SyncMode;
+
+    static constexpr std::uint64_t numMutexStripes = 4;
+    static constexpr std::uint64_t numSharedStripes = 2;
+
+    struct MutexStripe
+    {
+        tmsync::atomic_mutex mutex;
+        std::uint64_t counter = 0;
+        std::array<std::uint64_t, 4> slots{};
+    };
+
+    struct SharedStripe
+    {
+        tmsync::atomic_shared_mutex rw;
+        std::uint64_t generation = 0;
+        std::array<std::uint64_t, 8> cells{};
+    };
+
+    static std::uint64_t
+    applyMutexOp(htm::Tx& tx, MutexStripe& s, const Op& o)
+    {
+        const std::uint64_t count = tx.load(&s.counter) + 1;
+        tx.store(&s.counter, count);
+        std::uint64_t* slot = &s.slots[o.b % s.slots.size()];
+        const std::uint64_t updated = tx.load(slot) + o.b;
+        tx.store(slot, updated);
+        return tagged(0x1, foldHash(count, updated));
+    }
+
+    static std::uint64_t
+    applyReadOp(htm::Tx& tx, SharedStripe& s, const Op& o)
+    {
+        std::uint64_t sum = tx.load(&s.generation);
+        for (std::size_t i = 0; i < s.cells.size(); ++i)
+            sum = foldHash(sum, tx.load(&s.cells[i]));
+        (void) o;
+        return tagged(0x2, sum);
+    }
+
+    static std::uint64_t
+    applyWriteOp(htm::Tx& tx, SharedStripe& s, const Op& o)
+    {
+        std::uint64_t* cell = &s.cells[o.b % s.cells.size()];
+        const std::uint64_t updated = tx.load(cell) + o.b;
+        tx.store(cell, updated);
+        const std::uint64_t generation = tx.load(&s.generation) + 1;
+        tx.store(&s.generation, generation);
+        return tagged(0x3, foldHash(generation, updated));
+    }
+
+    std::array<MutexStripe, numMutexStripes> mutexes_;
+    std::array<SharedStripe, numSharedStripes> shared_;
+};
+
 template <typename W>
 std::unique_ptr<CheckWorkload>
 makeWorkload(std::uint64_t seed, unsigned threads,
@@ -582,6 +757,7 @@ allWorkloads()
         {"kmeans", &makeWorkload<KmeansWorkload>},
         {"vacation", &makeWorkload<VacationWorkload>},
         {"server", &makeWorkload<ServerWorkload>},
+        {"sync", &makeWorkload<SyncWorkload>},
     };
     return registry;
 }

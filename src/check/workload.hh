@@ -34,6 +34,12 @@
 namespace htmsim::htm
 {
 class Tx;
+class Runtime;
+}
+
+namespace htmsim::sim
+{
+class ThreadContext;
 }
 
 namespace htmsim::check
@@ -52,6 +58,29 @@ class CheckWorkload
      */
     virtual std::uint64_t apply(htm::Tx& tx, unsigned tid,
                                 unsigned op) = 0;
+
+    /**
+     * Self-driven workloads stage their own atomic sections (e.g. the
+     * tmsync lock-elision protocols) instead of running apply() inside
+     * a driver-provided runtime.atomic(). The oracle then calls
+     * applyDirect() with the runtime and thread context and relies on
+     * each op emitting exactly one closing lifecycle event (commit /
+     * fallbackCommit / nonSpecCommit) as its serialization point.
+     */
+    virtual bool selfDriven() const { return false; }
+
+    /** Execute op directly against the runtime (selfDriven() only).
+     *  Same determinism and result-folding rules as apply(). */
+    virtual std::uint64_t
+    applyDirect(htm::Runtime& runtime, sim::ThreadContext& ctx,
+                unsigned tid, unsigned op)
+    {
+        (void) runtime;
+        (void) ctx;
+        (void) tid;
+        (void) op;
+        return 0;
+    }
 
     /** Structural digest of the shared state (host-side, post-run). */
     virtual std::uint64_t fingerprint() = 0;

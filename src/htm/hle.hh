@@ -12,8 +12,6 @@
 #ifndef HTMSIM_HTM_HLE_HH
 #define HTMSIM_HTM_HLE_HH
 
-#include <stdexcept>
-
 #include "runtime.hh"
 
 namespace htmsim::htm
@@ -42,19 +40,20 @@ class HleLock
     execute(Runtime& runtime, sim::ThreadContext& ctx, TxSiteId site,
             F&& body)
     {
-        if (!runtime.machine().hasHle)
-            throw std::logic_error("machine has no HLE support");
-
         // Elision attempt: subscribe to the lock word; the section
-        // aborts if someone holds (or takes) the real lock.
-        const AbortCause cause =
-            runtime.tryOnce(ctx, site, [&](Tx& tx) {
-                if (tx.load(&word_) != 0)
-                    tx.abortTx();
-                body(tx);
-            });
-        if (cause == AbortCause::none)
-            return;
+        // aborts if someone holds (or takes) the real lock. Machines
+        // whose transactions are too costly to elide with (BG/Q's
+        // software begin/end) skip straight to the real acquisition.
+        if (runtime.machine().supportsElision()) {
+            const AbortCause cause =
+                runtime.tryOnce(ctx, site, [&](Tx& tx) {
+                    if (tx.load(&word_) != 0)
+                        tx.abortTx();
+                    body(tx);
+                });
+            if (cause == AbortCause::none)
+                return;
+        }
 
         // Abort: re-execute with the lock held (no retries). The CAS
         // is atomic in virtual time, unlike a plain store after a

@@ -129,6 +129,23 @@ struct MachineConfig
     Cycles casCost = 40;
 
     // --- Derived helpers --------------------------------------------
+    /**
+     * Whether lock elision (speculating through a critical section
+     * while merely subscribing to the lock word) is worth attempting.
+     * Intel has native HLE; zEC12 and POWER8 lack the XACQUIRE hint
+     * but their regular transactions subscribe a lock word just as
+     * well (generalized transactional lock elision). Blue Gene/Q's
+     * software-mediated begin/end is so costly that a single
+     * speculative attempt around a short critical section loses to
+     * simply taking the spin lock — callers degrade to the real
+     * acquisition path instead of crashing (see hle.hh, tmsync/).
+     */
+    bool
+    supportsElision() const
+    {
+        return hasHle || hasConstrainedTx || hasSuspendResume;
+    }
+
     std::size_t
     loadCapacityLines() const
     {

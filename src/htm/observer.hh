@@ -46,6 +46,12 @@ enum class TxEventKind : std::uint8_t
      *  body; emitted while the lock is still held, i.e. at the
      *  section's serialization point. */
     fallbackCommit,
+    /** A non-speculative section completed its body *without* the
+     *  global fallback lock — e.g. under a per-object tmsync lock
+     *  after a failed elision attempt. Emitted by the site-aware
+     *  Runtime::runNonSpeculative overload while the caller's own
+     *  lock is still held (the section's serialization point). */
+    nonSpecCommit,
 };
 
 /** Human-readable event-kind name ("begin", "commit", ...). */
@@ -68,6 +74,7 @@ struct TxEvent
      * fed back into the simulation. Per kind:
      *   commit / abort    start of the attempt (before tbegin cost);
      *   fallbackCommit    start of the locked body (lock acquired);
+     *   nonSpecCommit     start of the non-speculative body;
      *   lockAcquired      when the thread started waiting for the lock;
      *   lockReleased      when the lock was acquired (hold start);
      *   begin             start of the attempt (== the later commit's

@@ -32,6 +32,7 @@ txEventKindName(TxEventKind kind)
       case TxEventKind::lockAcquired: return "lock-acquired";
       case TxEventKind::lockReleased: return "lock-released";
       case TxEventKind::fallbackCommit: return "fallback-commit";
+      case TxEventKind::nonSpecCommit: return "nonspec-commit";
     }
     return "?";
 }

@@ -487,6 +487,29 @@ class Runtime
         stats_[ctx.id()].fallbackCycles += ctx.now() - start;
     }
 
+    /**
+     * Site-aware runNonSpeculative for per-object lock fallbacks
+     * (tmsync): binds @p site and emits a nonSpecCommit lifecycle
+     * event at body completion so observers (simcheck, liveness,
+     * txprof) see the section's serialization point. The 2-arg
+     * overload above stays event-free — its callers (HLE global lock,
+     * TLS) account their sections through other events.
+     */
+    template <typename F>
+    void
+    runNonSpeculative(sim::ThreadContext& ctx, TxSiteId site, F&& body)
+    {
+        bindSite(ctx.id(), site);
+        Tx& tx = txOf(ctx.id());
+        const Cycles start = ctx.now();
+        IrrevocableScope scope(tx, ctx);
+        body(tx);
+        ++stats_[ctx.id()].irrevocableCommits;
+        stats_[ctx.id()].fallbackCycles += ctx.now() - start;
+        emitEvent(TxEventKind::nonSpecCommit, ctx.id(), site, ctx.now(),
+                  start);
+    }
+
     /** Atomic (in virtual time) non-transactional fetch-add. */
     template <typename T>
     T

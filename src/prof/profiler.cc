@@ -112,6 +112,7 @@ TxProfiler::report() const
           case TxEventKind::lockReleased:
             break;
           case TxEventKind::fallbackCommit:
+          case TxEventKind::nonSpecCommit:
             ++site.fallbackCommits;
             site.fallbackCycles += span;
             break;

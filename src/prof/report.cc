@@ -219,6 +219,11 @@ writePerfettoTrace(std::ostream& out, const RunInfo& info,
                   event.sectionStart, event.cycles,
                   "\"outcome\": \"fallback\"");
             break;
+          case TxEventKind::nonSpecCommit:
+            slice(site.c_str(), "fallback", event.tid,
+                  event.sectionStart, event.cycles,
+                  "\"outcome\": \"nonspec\"");
+            break;
           case TxEventKind::lockAcquired:
             if (event.cycles > event.sectionStart) {
                 slice("lock wait", "lock", event.tid,

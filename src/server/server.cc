@@ -7,6 +7,8 @@
 #include "htm/tx.hh"
 #include "kv_store.hh"
 #include "sim/scheduler.hh"
+#include "tmsync/atomic_shared_mutex.hh"
+#include "tmsync/guard.hh"
 
 namespace htmsim::server
 {
@@ -28,6 +30,32 @@ siteOf(OpKind kind)
 }
 
 } // namespace
+
+const char*
+indexLockModeName(IndexLockMode mode)
+{
+    switch (mode) {
+      case IndexLockMode::none: return "none";
+      case IndexLockMode::elided: return "elided";
+      case IndexLockMode::tatas: return "tatas";
+    }
+    return "?";
+}
+
+bool
+parseIndexLockMode(const std::string& name, IndexLockMode& out)
+{
+    if (name == "none") {
+        out = IndexLockMode::none;
+    } else if (name == "elided") {
+        out = IndexLockMode::elided;
+    } else if (name == "tatas") {
+        out = IndexLockMode::tatas;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 ServerResult
 runServer(const ServerConfig& config)
@@ -53,6 +81,18 @@ runServer(const ServerConfig& config)
     ServerResult result;
     std::vector<std::uint64_t> finish_times(config.clients, 0);
 
+    // Ordered-index guard (IndexLockMode in server.hh). A stack local,
+    // so the indexLock == none configuration touches neither the heap
+    // nor the simulation: ops stay on the runtime.atomic path below
+    // and the word is never read — bit-identical to the pre-tmsync
+    // server (tests/test_tmsync.cc pins this with a forked A/B run).
+    tmsync::atomic_shared_mutex index_lock;
+    const bool guard_index = config.indexLock != IndexLockMode::none;
+    const tmsync::SyncMode index_mode =
+        config.indexLock == IndexLockMode::elided ?
+            tmsync::SyncMode::elided :
+            tmsync::SyncMode::tatas;
+
     for (unsigned client = 0; client < config.clients; ++client) {
         scheduler.spawn([&, client](sim::ThreadContext& ctx) {
             ctx.setTimeScale(config.runtime.machine.threadTimeScale(
@@ -71,8 +111,7 @@ runServer(const ServerConfig& config)
                 }
                 const std::uint64_t submit = ctx.now();
                 std::uint64_t folded = 0;
-                runtime.atomic(ctx, siteOf(request.kind),
-                               [&](htm::Tx& tx) {
+                const auto body = [&](htm::Tx& tx) {
                     switch (request.kind) {
                     case OpKind::get:
                         folded = store.get(tx, request.key);
@@ -96,7 +135,30 @@ runServer(const ServerConfig& config)
                                             config.traffic.scanLen);
                         break;
                     }
-                });
+                };
+                // Index-touching ops go through the guard executor
+                // instead of nesting a guard inside runtime.atomic
+                // (tmsync rejects nesting): scans take the lock
+                // shared, index-mutating put/rmw take it exclusive.
+                if (guard_index && request.kind == OpKind::scan) {
+                    tmsync::transactional_shared_lock_guard guard(
+                        runtime, ctx, index_lock,
+                        siteOf(request.kind), index_mode, body);
+                    ++result.indexGuardSections;
+                    result.indexGuardElided +=
+                        guard.elided() ? 1 : 0;
+                } else if (guard_index &&
+                           (request.kind == OpKind::put ||
+                            request.kind == OpKind::rmw)) {
+                    tmsync::transactional_lock_guard guard(
+                        runtime, ctx, index_lock,
+                        siteOf(request.kind), index_mode, body);
+                    ++result.indexGuardSections;
+                    result.indexGuardElided +=
+                        guard.elided() ? 1 : 0;
+                } else {
+                    runtime.atomic(ctx, siteOf(request.kind), body);
+                }
                 // The fold ties the op's loads into live data so the
                 // compiler cannot hoist or elide the body.
                 (void)folded;

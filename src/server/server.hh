@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "htm/runtime.hh"
 #include "latency.hh"
@@ -36,6 +37,29 @@
 
 namespace htmsim::server
 {
+
+/**
+ * Optional ordered-index guard around the range-scan path.
+ *
+ * `none` leaves every operation on the plain runtime.atomic path —
+ * bit-identical to the pre-tmsync server. `elided` / `tatas` route
+ * scans through a tmsync::transactional_shared_lock_guard (shared
+ * mode) and the index-mutating put/rmw ops through an exclusive
+ * transactional_lock_guard over one process-wide
+ * tmsync::atomic_shared_mutex, in the requested SyncMode. get and
+ * transfer never touch the ordered index and stay on runtime.atomic.
+ */
+enum class IndexLockMode : std::uint8_t
+{
+    none,
+    elided,
+    tatas,
+};
+
+const char* indexLockModeName(IndexLockMode mode);
+
+/** Parse "none", "elided", "tatas"; @return recognized. */
+bool parseIndexLockMode(const std::string& name, IndexLockMode& out);
 
 /** Everything configurable about one server run. */
 struct ServerConfig
@@ -50,6 +74,8 @@ struct ServerConfig
     std::uint64_t seed = 1;
     /** Per-client fiber stack bytes (server ops are shallow). */
     std::size_t stackBytes = 64 * 1024;
+    /** Ordered-index guard mode (IndexLockMode above). */
+    IndexLockMode indexLock = IndexLockMode::none;
     /** Optional observer (txprof attribution); may be nullptr. */
     htm::TxObserver* observer = nullptr;
 };
@@ -69,6 +95,10 @@ struct ServerResult
     LatencyHistogram queueDelay;
     /** Aggregated runtime statistics (aborts, fallbacks, cycles). */
     htm::TxStats stats;
+    /** Operations routed through the index guard (0 when the guard
+     *  is off), and how many of those elided the lock. */
+    std::uint64_t indexGuardSections = 0;
+    std::uint64_t indexGuardElided = 0;
     /** Conserved-balance and table/index-agreement checks. */
     bool invariantsOk = false;
 

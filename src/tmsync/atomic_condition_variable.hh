@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A deterministic condition variable for tmsync critical sections.
+ *
+ * Wakeup determinism contract:
+ *  - Waiters are granted strictly in ticket (FIFO) order; tickets are
+ *    issued under the associated mutex, so the grant order is the
+ *    virtual-time order in which waiters entered wait().
+ *  - Notifications are never lost: notify_one() with no waiter parked
+ *    pre-grants the next ticket, so a wait() that races a notify in
+ *    virtual time returns immediately instead of deadlocking
+ *    (semaphore-style memory; real condvars drop such signals, which
+ *    is exactly the nondeterminism this simulator must not have).
+ *  - There are no spurious wakeups, but callers should still re-check
+ *    their predicate in a loop: another thread can win the mutex
+ *    between the grant and the waiter's re-acquisition.
+ *
+ * Waiting inside a speculative section is impossible (the waiter must
+ * publish its ticket and release the real mutex), so wait() aborts a
+ * non-irrevocable transaction, forcing the guard onto its fallback
+ * path; the re-run body then reaches wait() irrevocably, holding the
+ * real mutex. notify_* only write plain words and are allowed from
+ * any path, but must be called under the same mutex so the
+ * ticket/grant words stay ordered — from an *elided* section the
+ * notify would make the section non-elidable anyway (the write dooms
+ * subscribers), so notify_* also force the fallback.
+ */
+
+#ifndef HTMSIM_TMSYNC_ATOMIC_CONDITION_VARIABLE_HH
+#define HTMSIM_TMSYNC_ATOMIC_CONDITION_VARIABLE_HH
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "htm/runtime.hh"
+#include "htm/tx.hh"
+#include "tmsync/atomic_mutex.hh"
+
+namespace htmsim::tmsync
+{
+
+class atomic_condition_variable
+{
+  public:
+    /**
+     * Block until notified, releasing @p mutex while parked. Must be
+     * called with @p mutex held by a guard body; re-acquires it
+     * before returning. @return this waiter's ticket (tests).
+     */
+    std::uint64_t
+    wait(htm::Runtime& runtime, sim::ThreadContext& ctx, htm::Tx& tx,
+         atomic_mutex& mutex)
+    {
+        if (!tx.isIrrevocable())
+            tx.abortTx(); // force the guard's fallback path
+        if (!mutex.is_locked()) {
+            throw std::logic_error(
+                "tmsync: wait() without holding the mutex (global-lock "
+                "guards never acquire the per-object mutex and cannot "
+                "wait)");
+        }
+        const std::uint64_t my =
+            runtime.nonTxFetchAdd(ctx, &nextTicket_, std::uint64_t(1));
+        mutex.unlock(runtime, ctx);
+        ctx.spinUntil([this, my] { return granted_ > my; },
+                      htm::Runtime::lockPollCost);
+        mutex.lock(runtime, ctx);
+        return my;
+    }
+
+    /** Grant the oldest outstanding ticket (or pre-grant the next).
+     *  Call under the associated mutex. */
+    void
+    notify_one(htm::Runtime& runtime, sim::ThreadContext& ctx,
+               htm::Tx& tx)
+    {
+        if (!tx.isIrrevocable())
+            tx.abortTx();
+        runtime.nonTxFetchAdd(ctx, &granted_, std::uint64_t(1));
+    }
+
+    /** Grant every ticket issued so far. Call under the mutex. */
+    void
+    notify_all(htm::Runtime& runtime, sim::ThreadContext& ctx,
+               htm::Tx& tx)
+    {
+        if (!tx.isIrrevocable())
+            tx.abortTx();
+        const std::uint64_t issued =
+            runtime.nonTxLoad(ctx, &nextTicket_);
+        if (issued > granted_)
+            runtime.nonTxStore(ctx, &granted_, issued);
+    }
+
+    /** Waiters issued minus waiters granted (tests / scenarios). */
+    std::uint64_t
+    pending() const
+    {
+        return nextTicket_ > granted_ ? nextTicket_ - granted_ : 0;
+    }
+
+  private:
+    alignas(256) std::uint64_t nextTicket_ = 0;
+    alignas(256) std::uint64_t granted_ = 0;
+};
+
+} // namespace htmsim::tmsync
+
+#endif // HTMSIM_TMSYNC_ATOMIC_CONDITION_VARIABLE_HH

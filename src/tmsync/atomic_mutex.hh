@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A word-sized TATAS spin mutex in virtual time, designed to be
+ * *elidable*: the lock state is a single aligned word that an elided
+ * section can subscribe to transactionally (see guard.hh), exactly the
+ * shape dr-m/atomic_sync gives InnoDB's mutexes. The real acquisition
+ * path uses the runtime's strongly isolated CAS, so taking the lock
+ * dooms every transaction currently subscribed to the word — that
+ * doom, plus the elided path's own word check, is what makes elided
+ * and non-elided critical sections mutually exclusive in both
+ * directions.
+ */
+
+#ifndef HTMSIM_TMSYNC_ATOMIC_MUTEX_HH
+#define HTMSIM_TMSYNC_ATOMIC_MUTEX_HH
+
+#include <cstdint>
+
+#include "htm/runtime.hh"
+#include "tmsync/backoff.hh"
+
+namespace htmsim::tmsync
+{
+
+class atomic_mutex
+{
+  public:
+    /** Spin (TATAS) until the lock is really acquired. Jittered
+     *  polling, not a fixed period: see backoff.hh. */
+    void
+    lock(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        while (!runtime.nonTxCas(ctx, &word_, std::uint64_t(0),
+                                 std::uint64_t(1))) {
+            detail::spinBackoff(ctx,
+                                [this] { return word_ == 0; });
+        }
+    }
+
+    /** One CAS; @return whether the lock was acquired. */
+    bool
+    try_lock(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        return runtime.nonTxCas(ctx, &word_, std::uint64_t(0),
+                                std::uint64_t(1));
+    }
+
+    void
+    unlock(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        runtime.nonTxStore(ctx, &word_, std::uint64_t(0));
+    }
+
+    bool is_locked() const { return word_ != 0; }
+
+    /** The word an elided section subscribes to (guard.hh). */
+    std::uint64_t* word() { return &word_; }
+
+  private:
+    // Own conflict-granularity line on every machine (max is BG/Q's
+    // 128 B): elided sections must abort on lock traffic, not on
+    // whatever data the enclosing object packs next to the lock.
+    alignas(256) std::uint64_t word_ = 0;
+};
+
+} // namespace htmsim::tmsync
+
+#endif // HTMSIM_TMSYNC_ATOMIC_MUTEX_HH

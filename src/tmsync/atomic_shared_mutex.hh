@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A word-sized shared mutex (reader count + writer bit), elidable on
+ * both the shared and the exclusive side.
+ *
+ * The interesting asymmetry, and the reason elision wins on
+ * reader-heavy workloads: a *real* shared acquisition must CAS the
+ * reader count up and back down, so concurrent readers serialize on
+ * the lock word's cache line (two casCost bumps per section and a
+ * doomed subscriber per bump). An *elided* reader never writes the
+ * word at all — it merely subscribes and checks the writer bit — so
+ * any number of elided readers run fully in parallel and invisible to
+ * each other. An elided reader coexists with real readers right up
+ * until one of them changes the count, which dooms the subscriber
+ * (one wasted attempt, then the real path); that is the same behavior
+ * dr-m/atomic_sync accepts for its transactional shared locks.
+ */
+
+#ifndef HTMSIM_TMSYNC_ATOMIC_SHARED_MUTEX_HH
+#define HTMSIM_TMSYNC_ATOMIC_SHARED_MUTEX_HH
+
+#include <cstdint>
+
+#include "htm/runtime.hh"
+#include "tmsync/backoff.hh"
+
+namespace htmsim::tmsync
+{
+
+class atomic_shared_mutex
+{
+  public:
+    /** Exclusive-holder flag; low bits hold the reader count. */
+    static constexpr std::uint64_t writerBit = std::uint64_t(1) << 63;
+
+    /** Exclusive acquisition: CAS 0 -> writerBit, spinning out both
+     *  readers and a prior writer. Jittered polling: backoff.hh. */
+    void
+    lock(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        while (!runtime.nonTxCas(ctx, &word_, std::uint64_t(0),
+                                 writerBit)) {
+            detail::spinBackoff(ctx, [this] { return word_ == 0; });
+        }
+    }
+
+    void
+    unlock(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        runtime.nonTxStore(ctx, &word_, std::uint64_t(0));
+    }
+
+    /** Shared acquisition: bump the reader count while no writer
+     *  holds or is taking the lock. */
+    void
+    lock_shared(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        for (;;) {
+            detail::spinBackoff(ctx, [this] {
+                return (word_ & writerBit) == 0;
+            });
+            const std::uint64_t seen = runtime.nonTxLoad(ctx, &word_);
+            if ((seen & writerBit) != 0)
+                continue;
+            if (runtime.nonTxCas(ctx, &word_, seen, seen + 1))
+                return;
+        }
+    }
+
+    void
+    unlock_shared(htm::Runtime& runtime, sim::ThreadContext& ctx)
+    {
+        runtime.nonTxFetchAdd(ctx, &word_,
+                              ~std::uint64_t(0)); // -1, wrapping
+    }
+
+    bool is_locked() const { return (word_ & writerBit) != 0; }
+    bool is_locked_or_waiting() const { return word_ != 0; }
+    std::uint64_t readers() const { return word_ & ~writerBit; }
+
+    /** The word elided sections subscribe to (guard.hh). */
+    std::uint64_t* word() { return &word_; }
+
+  private:
+    alignas(256) std::uint64_t word_ = 0;
+};
+
+} // namespace htmsim::tmsync
+
+#endif // HTMSIM_TMSYNC_ATOMIC_SHARED_MUTEX_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic jittered spinning for tmsync lock loops.
+ *
+ * Every contender polling a lock word at the same fixed period is a
+ * starvation hazard in a deterministic simulator: the scheduler
+ * arbitrates ties identically every round, so the probe instants
+ * phase-lock against the holders' hold/release pattern and the same
+ * loser can miss every free window forever (the liveness oracle's
+ * starvation check catches exactly this under the mixed_waiters
+ * scenario at full bench size). Real hardware breaks such lock-step
+ * with cache-arrival jitter; here we break it explicitly — and still
+ * deterministically — by drawing every probe period from the
+ * thread's own seeded random stream. Jitter must be per *probe*, not
+ * per spin-loop entry: a loop that picks one period and then calls
+ * spinUntil() re-phase-locks inside that single call.
+ */
+
+#ifndef HTMSIM_TMSYNC_BACKOFF_HH
+#define HTMSIM_TMSYNC_BACKOFF_HH
+
+#include <cstdint>
+
+#include "htm/runtime.hh"
+#include "sim/scheduler.hh"
+
+namespace htmsim::tmsync::detail
+{
+
+/** Spin in virtual time until @p pred holds, charging a jittered
+ *  poll period (uniform in [lockPollCost, 2*lockPollCost)) per
+ *  probe so concurrent spinners' probe instants drift relative to
+ *  each other until someone lands in a free window. Same livelock
+ *  guard as ThreadContext::spinUntil(). */
+template <typename Pred>
+inline void
+spinBackoff(sim::ThreadContext& ctx, Pred pred)
+{
+    std::uint64_t probes = 0;
+    while (!pred()) {
+        ctx.advance(htm::Runtime::lockPollCost +
+                    ctx.rng().nextRange(htm::Runtime::lockPollCost));
+        ctx.yieldNow();
+        if (++probes > sim::ThreadContext::spinProbeLimit)
+            throw sim::SimError(
+                "spinBackoff: virtual livelock detected");
+    }
+}
+
+} // namespace htmsim::tmsync::detail
+
+#endif // HTMSIM_TMSYNC_BACKOFF_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Adversarial contention scenarios over the tmsync primitives.
+ *
+ * Each scenario is a deterministic multi-fiber run (one Scheduler +
+ * Runtime on a chosen machine model) that stresses one contention
+ * shape the paper's §6.2 CLQ study only hints at:
+ *
+ *   reader_heavy  90 % shared / 10 % exclusive over one
+ *                 atomic_shared_mutex — the cell where elided readers
+ *                 (no lock-word writes) should beat TATAS readers
+ *                 (two CASes per section) outright;
+ *   lock_convoy   every thread hammering one atomic_mutex with short
+ *                 sections — the classic convoy, where elision's
+ *                 single optimistic attempt either dissolves the
+ *                 convoy or degenerates into abort-then-queue;
+ *   mixed_waiters elided and deliberately non-elided threads sharing
+ *                 one mutex: each real acquisition dooms every elided
+ *                 subscriber, measuring elision's worst neighbor;
+ *   shared_scan   long shared-mode scans vs. rare writers — bigger
+ *                 read footprints and longer windows for a writer to
+ *                 doom an elided scan;
+ *   ping_pong     condition-variable turn-taking between thread
+ *                 pairs; condvar sections are inherently non-elidable
+ *                 (wait/notify force the fallback), pinning the cost
+ *                 of elision-hostile sections. Unsupported under
+ *                 SyncMode::globalLock: wait() releases the
+ *                 per-object mutex, which a global-lock guard never
+ *                 acquires.
+ *
+ * Every scenario runs under any TxObserver (txprof, the liveness
+ * checker) and sweeps SyncMode elided / tatas / globalLock, on all
+ * four machines — Blue Gene/Q's elided arm degrades to TATAS via
+ * Machine::supportsElision().
+ */
+
+#ifndef HTMSIM_TMSYNC_SCENARIOS_HH
+#define HTMSIM_TMSYNC_SCENARIOS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "htm/runtime.hh"
+#include "tmsync/sync_mode.hh"
+
+namespace htmsim::tmsync
+{
+
+enum class Scenario : std::uint8_t
+{
+    readerHeavy,
+    lockConvoy,
+    mixedWaiters,
+    sharedScan,
+    pingPong,
+};
+
+constexpr unsigned numScenarios = 5;
+
+/** Sweep-order list of all scenarios. */
+const Scenario* allScenarios();
+
+const char* scenarioName(Scenario scenario);
+
+/** Parse "reader_heavy", "lock_convoy", ...; @return recognized. */
+bool parseScenario(const std::string& name, Scenario& out);
+
+/** Whether @p scenario can run under @p mode (ping_pong cannot wait
+ *  on a condvar from a global-lock guard). */
+bool scenarioSupportsMode(Scenario scenario, SyncMode mode);
+
+struct ScenarioConfig
+{
+    /** Machine model, backend, batching, hazards. */
+    htm::RuntimeConfig runtime;
+    Scenario scenario = Scenario::readerHeavy;
+    SyncMode mode = SyncMode::elided;
+    /** Fibers; ping_pong rounds down to an even count. */
+    unsigned threads = 8;
+    unsigned opsPerThread = 200;
+    std::uint64_t seed = 1;
+    /** Optional observer (txprof / liveness); may be nullptr. */
+    htm::TxObserver* observer = nullptr;
+};
+
+struct ScenarioResult
+{
+    /** Guarded sections completed (one per op). */
+    std::uint64_t sections = 0;
+    /** Sections that committed on the speculative (elided) path. */
+    std::uint64_t elidedSections = 0;
+    /** Virtual time of the last fiber to finish. */
+    std::uint64_t horizonCycles = 0;
+    /** Aggregated runtime statistics. */
+    htm::TxStats stats;
+    /** Digest of the final shared state (sanity / A-B tests). */
+    std::uint64_t checksum = 0;
+
+    double
+    throughputPerKcycle() const
+    {
+        return horizonCycles == 0 ? 0.0 :
+               double(sections) * 1000.0 / double(horizonCycles);
+    }
+};
+
+/** Run one scenario cell to completion. */
+ScenarioResult runScenario(const ScenarioConfig& config);
+
+} // namespace htmsim::tmsync
+
+#endif // HTMSIM_TMSYNC_SCENARIOS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Acquisition-mode knob shared by the tmsync primitives and their
+ * benchmarks: lock elision, plain TATAS acquisition, or the runtime's
+ * global fallback lock (the degenerate single-lock baseline the paper
+ * compares against in Figure 7).
+ */
+
+#ifndef HTMSIM_TMSYNC_SYNC_MODE_HH
+#define HTMSIM_TMSYNC_SYNC_MODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace htmsim::tmsync
+{
+
+/** How a guarded section acquires its lock. */
+enum class SyncMode : std::uint8_t
+{
+    /** One speculative attempt subscribing the lock word, then the
+     *  real acquisition (HLE generalized to per-object locks). On
+     *  machines without elision support this degrades to tatas. */
+    elided,
+    /** Test-and-test-and-set acquisition, never speculative. */
+    tatas,
+    /** The runtime's global fallback lock: every section in the
+     *  process serializes, regardless of which object it guards. */
+    globalLock,
+};
+
+inline const char*
+syncModeName(SyncMode mode)
+{
+    switch (mode) {
+      case SyncMode::elided: return "elided";
+      case SyncMode::tatas: return "tatas";
+      case SyncMode::globalLock: return "global-lock";
+    }
+    return "?";
+}
+
+/** Parse a mode name ("elided", "tatas", "global-lock" / "global");
+ *  @return whether @p name was recognized. */
+inline bool
+parseSyncMode(const std::string& name, SyncMode& out)
+{
+    if (name == "elided") {
+        out = SyncMode::elided;
+    } else if (name == "tatas") {
+        out = SyncMode::tatas;
+    } else if (name == "global-lock" || name == "global") {
+        out = SyncMode::globalLock;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace htmsim::tmsync
+
+#endif // HTMSIM_TMSYNC_SYNC_MODE_HH

@@ -183,17 +183,25 @@ TEST(Hle, DisjointSectionsRunWithoutSerialization)
     EXPECT_EQ(runtime.stats().irrevocableCommits, 0u);
 }
 
-TEST(Hle, UnsupportedOutsideIntel)
+TEST(Hle, GeneralizedElisionOutsideIntel)
 {
+    // POWER8 lacks native HLE but supports the generalized
+    // transactional-lock-elision idiom (Machine::supportsElision()):
+    // execute() elides rather than throwing.
     RuntimeConfig config(MachineConfig::power8());
     sim::Scheduler scheduler;
     Runtime runtime(config, 1);
     HleLock lock;
+    std::uint64_t counter = 0;
     scheduler.spawn([&](sim::ThreadContext& ctx) {
-        EXPECT_THROW(lock.execute(runtime, ctx, [](Tx&) {}),
-                     std::logic_error);
+        lock.execute(runtime, ctx, [&](Tx& tx) {
+            tx.store(&counter, tx.load(&counter) + 1);
+        });
     });
     scheduler.run();
+    EXPECT_EQ(counter, 1u);
+    EXPECT_EQ(runtime.stats().htmCommits, 1u);
+    EXPECT_FALSE(lock.held());
 }
 
 class TlsVariants : public ::testing::TestWithParam<bool>

@@ -218,14 +218,136 @@ TEST(Hle, ContendedSectionsStayCoherent)
     EXPECT_FALSE(lock.held());
 }
 
-TEST(Hle, ThrowsOnMachinesWithoutHle)
+TEST(Hle, DegradesToPlainLockingWithoutElisionSupport)
 {
-    Runtime runtime(quietConfig(MachineConfig::power8()), 1);
+    // Blue Gene/Q has no lock elision of any flavor
+    // (Machine::supportsElision() is false): execute() must skip the
+    // speculative attempt and run every section under the real lock,
+    // not throw.
+    Runtime runtime(quietConfig(MachineConfig::blueGeneQ()), 1);
     HleLock lock;
+    std::uint64_t counter = 0;
+    constexpr int sections = 8;
+
     sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
-        EXPECT_THROW(lock.execute(runtime, ctx, [](Tx&) {}),
-                     std::logic_error);
+        for (int i = 0; i < sections; ++i) {
+            lock.execute(runtime, ctx, [&](Tx& tx) {
+                tx.store(&counter, tx.load(&counter) + 1);
+            });
+        }
     });
+
+    EXPECT_EQ(counter, std::uint64_t(sections));
+    EXPECT_EQ(runtime.stats().htmCommits, 0u)
+        << "no speculation without elision support";
+    EXPECT_EQ(runtime.stats().irrevocableCommits,
+              std::uint64_t(sections));
+    EXPECT_FALSE(lock.held());
+}
+
+TEST(Hle, GeneralizedElisionOnNonIntelHtmMachines)
+{
+    // zEC12 and POWER8 have no native HLE, but their HTM supports the
+    // generalized transactional-lock-elision idiom: uncontended
+    // sections must elide (commit transactionally, never acquire the
+    // real lock).
+    for (const MachineConfig& machine :
+         {MachineConfig::zEC12(), MachineConfig::power8()}) {
+        Runtime runtime(quietConfig(machine), 1);
+        HleLock lock;
+        std::uint64_t counter = 0;
+        constexpr int sections = 8;
+
+        sim::runThreads(1, 1, [&](sim::ThreadContext& ctx) {
+            for (int i = 0; i < sections; ++i) {
+                lock.execute(runtime, ctx, [&](Tx& tx) {
+                    tx.store(&counter, tx.load(&counter) + 1);
+                });
+            }
+        });
+
+        EXPECT_EQ(counter, std::uint64_t(sections)) << machine.name;
+        EXPECT_EQ(runtime.stats().irrevocableCommits, 0u)
+            << machine.name << ": uncontended sections must elide";
+        EXPECT_FALSE(lock.held());
+    }
+}
+
+TEST(Hle, ElisionWhileLockHeldFallsBackAndStaysCoherent)
+{
+    // Edge case: an elision attempt that subscribes while the real
+    // lock is held must abort (the lock word is nonzero) and queue on
+    // the lock; it must never commit "around" the lock holder.
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 2);
+    HleLock lock;
+    std::uint64_t counter = 0;
+
+    sim::runThreads(2, 3, [&](sim::ThreadContext& ctx) {
+        if (ctx.id() == 0) {
+            // Force the fallback (scripted abort), then camp on the
+            // real lock with a long body.
+            int executions = 0;
+            lock.execute(runtime, ctx, [&](Tx& tx) {
+                if (++executions == 1)
+                    tx.abortTx();
+                tx.work(5000);
+                tx.store(&counter, tx.load(&counter) + 1);
+            });
+        } else {
+            // Start inside thread 0's lock-held window.
+            ctx.advance(500);
+            ctx.sync();
+            lock.execute(runtime, ctx, [&](Tx& tx) {
+                tx.store(&counter, tx.load(&counter) + 1);
+            });
+        }
+    });
+
+    const TxStats stats = runtime.stats();
+    EXPECT_EQ(counter, 2u);
+    EXPECT_EQ(stats.htmCommits + stats.irrevocableCommits, 2u)
+        << "each section commits exactly once";
+    EXPECT_GE(stats.irrevocableCommits, 1u)
+        << "thread 0's scripted section must take the real lock";
+    EXPECT_GE(stats.totalAborts(), 2u)
+        << "the scripted abort plus the doomed subscriber";
+    EXPECT_FALSE(lock.held());
+}
+
+TEST(Hle, ReleaseRacingSubscribersStaysCoherent)
+{
+    // Edge case: lock releases racing subscribing readers. Two
+    // threads alternate scripted-fallback sections (hold and release
+    // the real lock) with elidable sections of varying length, so
+    // subscription windows repeatedly straddle a release. Whatever
+    // the interleaving, conservation must hold: every section commits
+    // exactly once, on exactly one path.
+    Runtime runtime(quietConfig(MachineConfig::intelCore()), 2);
+    HleLock lock;
+    std::uint64_t counter = 0;
+    constexpr int sectionsPerThread = 16;
+
+    sim::runThreads(2, 5, [&](sim::ThreadContext& ctx) {
+        for (int i = 0; i < sectionsPerThread; ++i) {
+            const bool forceLock = (i + int(ctx.id())) % 3 == 0;
+            lock.execute(runtime, ctx, [&](Tx& tx) {
+                // Scripted: doom every speculative execution of the
+                // chosen sections (irrevocability-gated, since a peer
+                // conflict can abort the attempt before the body).
+                if (forceLock && !tx.isIrrevocable())
+                    tx.abortTx();
+                tx.work(50 + 40 * (i % 5));
+                tx.store(&counter, tx.load(&counter) + 1);
+            });
+        }
+    });
+
+    const TxStats stats = runtime.stats();
+    EXPECT_EQ(counter, std::uint64_t(2 * sectionsPerThread));
+    EXPECT_EQ(stats.htmCommits + stats.irrevocableCommits,
+              std::uint64_t(2 * sectionsPerThread));
+    EXPECT_GE(stats.irrevocableCommits, 1u);
+    EXPECT_FALSE(lock.held());
 }
 
 // ------------------------------------------------------------------
